@@ -1,0 +1,364 @@
+package election
+
+// One benchmark per experiment row of DESIGN.md's per-experiment index
+// (E1-E12). Each bench reports, beyond ns/op, the paper-relevant custom
+// metrics (advice bits, rounds, ratios) via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the quantitative skeleton of
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// E1 — election index computation (Prop. 2.1).
+func BenchmarkElectionIndex(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		g := RandomConnected(n, n/2, int64(n))
+		b.Run(fmt.Sprintf("random-n%d", n), func(b *testing.B) {
+			phi := 0
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				phi, _ = s.ElectionIndex(g)
+			}
+			b.ReportMetric(float64(phi), "phi")
+		})
+	}
+}
+
+// E2 — Hendrickx bound phi in O(D log(n/D)) (Prop. 2.2).
+func BenchmarkHendrickxBound(b *testing.B) {
+	worst := 0.0
+	for _, n := range []int{20, 40, 80} {
+		for seed := int64(0); seed < 4; seed++ {
+			g := RandomConnected(n, n/3, seed)
+			s := NewSystem()
+			phi, ok := s.ElectionIndex(g)
+			if !ok {
+				continue
+			}
+			d := float64(g.Diameter())
+			bound := d*math.Log2(float64(n)/d) + 1
+			if r := float64(phi) / bound; r > worst {
+				worst = r
+			}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		s := NewSystem()
+		s.ElectionIndex(RandomConnected(60, 20, 1))
+	}
+	b.ReportMetric(worst, "phi/bound-max")
+}
+
+// E3 — oracle advice computation (Thm. 3.1 part 1).
+func BenchmarkComputeAdvice(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		g := RandomConnected(n, n/2, int64(n))
+		b.Run(fmt.Sprintf("random-n%d", n), func(b *testing.B) {
+			var bitsLen int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				_, enc, err := s.ComputeAdvice(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bitsLen = enc.Len()
+			}
+			b.ReportMetric(float64(bitsLen), "advice-bits")
+			b.ReportMetric(float64(bitsLen)/(float64(n)*math.Log2(float64(n))), "bits/nlogn")
+		})
+	}
+}
+
+// E3 — full minimum-time election (Thm. 3.1 part 2).
+func BenchmarkElectMinTime(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"lollipop", Lollipop(6, 6)},
+		{"random50", RandomConnected(50, 25, 3)},
+		{"necklace", BuildNecklace(4, 3, 3, NecklaceCode(4, 3, 0)).G},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var time int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				res, err := s.RunMinTime(tc.g, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				time = res.Time
+			}
+			b.ReportMetric(float64(time), "rounds")
+		})
+	}
+}
+
+// E4 — family G_k construction and index check (Thm. 3.2, Fig. 1).
+func BenchmarkFamilyGk(b *testing.B) {
+	for _, k := range []int{5, 8} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := BuildHk(k, 3)
+				s := NewSystem()
+				if phi, ok := s.ElectionIndex(m.G); !ok || phi != 1 {
+					b.Fatal("Gk index wrong")
+				}
+			}
+			b.ReportMetric(GkEntropyBits(k), "entropy-bits")
+		})
+	}
+}
+
+// E5 — k-necklace construction and index check (Thm. 3.3, Fig. 2).
+func BenchmarkFamilyNecklace(b *testing.B) {
+	for _, phi := range []int{2, 4} {
+		b.Run(fmt.Sprintf("phi%d", phi), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nk := BuildNecklace(4, 3, phi, NecklaceCode(4, 3, 1))
+				s := NewSystem()
+				if got, ok := s.ElectionIndex(nk.G); !ok || got != phi {
+					b.Fatal("necklace index wrong")
+				}
+			}
+			b.ReportMetric(NecklaceEntropyBits(4, 3), "entropy-bits")
+		})
+	}
+}
+
+// E6 — the four large-time milestones (Thm. 4.1).
+func BenchmarkElectionLargeTime(b *testing.B) {
+	g := Lollipop(3, 12)
+	for i := 1; i <= 4; i++ {
+		b.Run(fmt.Sprintf("milestone%d", i), func(b *testing.B) {
+			var adviceBits, rounds int
+			for it := 0; it < b.N; it++ {
+				s := NewSystem()
+				res, err := s.RunMilestone(g, i, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				adviceBits, rounds = res.AdviceBits, res.Time
+			}
+			b.ReportMetric(float64(adviceBits), "advice-bits")
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// E7 — Generic(x) (Lemma 4.1).
+func BenchmarkGeneric(b *testing.B) {
+	g := Grid(5, 4)
+	s0 := NewSystem()
+	phi, _ := s0.ElectionIndex(g)
+	for _, dx := range []int{0, 4} {
+		b.Run(fmt.Sprintf("x=phi+%d", dx), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				res, err := s.RunGeneric(g, phi+dx, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Time
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(g.Diameter()+phi+dx+1), "bound")
+		})
+	}
+}
+
+// E8 — S0 family construction (Thm. 4.2, Fig. 5).
+func BenchmarkFamilyS0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := BuildS0Member(1, 2, i%2)
+		s := NewSystem()
+		if phi, ok := s.ElectionIndex(m.G); !ok || phi != 1 {
+			b.Fatal("S0 index wrong")
+		}
+	}
+}
+
+// E9 — pruned views and merge (Claim 4.2, Figs. 6-8).
+func BenchmarkPrunedView(b *testing.B) {
+	g, l := ZLockGraph(6)
+	ports := []int{}
+	for p := 2; p < g.Deg(l.Central); p++ {
+		ports = append(ports, p)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SubstitutePrunedView(g, l.Central, ports, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	h1 := BuildS0Member(1, 2, 0).Locked()
+	h2 := BuildS0Member(1, 2, 1).Locked()
+	x := max(h1.G.MaxDegree(), h2.G.MaxDegree())
+	var n int
+	for i := 0; i < b.N; i++ {
+		q := Merge(h1, h2, MergeParams{Ell: 2, X: x, ChainLen: 4})
+		n = q.G.N()
+	}
+	b.ReportMetric(float64(n), "merged-nodes")
+}
+
+// E10 — hairy rings (Prop. 4.1, Fig. 9).
+func BenchmarkHairyRing(b *testing.B) {
+	h1 := BuildHairyRing([]int{2, 0, 3, 1})
+	h2 := BuildHairyRing([]int{1, 4, 0, 2})
+	var n int
+	for i := 0; i < b.N; i++ {
+		cg := BuildComposed([]Cut{h1.CutAt(0), h2.CutAt(0)}, 6, 7)
+		n = cg.H.G.N()
+	}
+	b.ReportMetric(float64(n), "composed-nodes")
+}
+
+// E11 — election in D+phi given (D, phi).
+func BenchmarkElectionDPlusPhi(b *testing.B) {
+	g := Grid(4, 3)
+	var rounds, adviceBits int
+	for i := 0; i < b.N; i++ {
+		s := NewSystem()
+		res, err := s.RunDPlusPhi(g, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds, adviceBits = res.Time, res.AdviceBits
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(adviceBits), "advice-bits")
+}
+
+// E12 — simulator engines (LOCAL model).
+func BenchmarkSimulator(b *testing.B) {
+	g := RandomConnected(40, 20, 9)
+	for _, mode := range []struct {
+		name string
+		o    Options
+	}{
+		{"sequential", Options{}},
+		{"goroutines", Options{Concurrent: true}},
+		{"wire", Options{Concurrent: true, Wire: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				if _, err := s.RunMinTime(g, mode.o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E13 — ablation: the trie-based oracle of Theorem 3.1 vs the naive
+// explicit-view oracle that Section 3's introduction rejects.
+func BenchmarkAdviceVsNaive(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"dense-phi1", RandomConnected(30, 60, 4)},
+		{"lollipop-phi4", Lollipop(8, 10)},
+	} {
+		b.Run(tc.name+"/trie", func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				_, enc, err := s.ComputeAdvice(tc.g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = enc.Len()
+			}
+			b.ReportMetric(float64(n), "advice-bits")
+		})
+		b.Run(tc.name+"/naive", func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				enc, err := s.ComputeNaiveAdvice(tc.g, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = enc.Len()
+			}
+			b.ReportMetric(float64(n), "advice-bits")
+		})
+	}
+}
+
+// E14 — the asynchronous engine with the time-stamp synchronizer.
+func BenchmarkAsyncEngine(b *testing.B) {
+	g := RandomConnected(30, 15, 9)
+	for i := 0; i < b.N; i++ {
+		s := NewSystem()
+		if _, err := s.RunMinTime(g, Options{Async: true, AsyncSeed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E15 — advice-free tree election in time <= D.
+func BenchmarkTreeElect(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"path20", Path(20)},
+		{"broom", Broom(4, 10)},
+		{"caterpillar", Caterpillar([]int{3, 0, 2, 1, 4, 0, 1})},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				res, err := s.RunTreeElect(tc.g, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Time
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(tc.g.Diameter()), "diameter")
+		})
+	}
+}
+
+// E16 — message complexity of minimum-time election: 2·m·φ messages.
+func BenchmarkMessageComplexity(b *testing.B) {
+	g := RandomConnected(40, 20, 6)
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		s := NewSystem()
+		res, err := s.RunMinTime(g, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(msgs), "messages")
+}
+
+// E17 — the Yamashita–Kameda quotient (minimum base).
+func BenchmarkQuotient(b *testing.B) {
+	g := Torus(4, 5)
+	var classes int
+	for i := 0; i < b.N; i++ {
+		s := NewSystem()
+		c, _ := s.StablePartition(g)
+		m := map[int]bool{}
+		for _, x := range c {
+			m[x] = true
+		}
+		classes = len(m)
+	}
+	b.ReportMetric(float64(classes), "classes")
+}

@@ -1,0 +1,66 @@
+// Command advicesize sweeps the network size n and reports the advice
+// size (in bits) produced by the Theorem 3.1 oracle for minimum-time
+// election, next to the n·log2(n) reference curve — the empirical
+// analogue of the paper's O(n log n) upper bound (experiment E3 of
+// DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	election "repro"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "random", "graph family: random, lollipop, hk")
+		min    = flag.Int("min", 10, "smallest n")
+		max    = flag.Int("max", 160, "largest n")
+		seed   = flag.Int64("seed", 1, "seed for random graphs")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-8s %-6s %-6s %-12s %-12s %-8s\n", "n", "phi", "D", "adviceBits", "n*log2(n)", "ratio")
+	for n := *min; n <= *max; n *= 2 {
+		g, err := makeGraph(*family, n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "advicesize:", err)
+			os.Exit(1)
+		}
+		s := election.NewSystem()
+		phi, ok := s.ElectionIndex(g)
+		if !ok {
+			fmt.Printf("%-8d infeasible\n", n)
+			continue
+		}
+		_, enc, err := s.ComputeAdvice(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "advicesize:", err)
+			os.Exit(1)
+		}
+		ref := float64(g.N()) * math.Log2(float64(g.N()))
+		fmt.Printf("%-8d %-6d %-6d %-12d %-12.0f %-8.2f\n",
+			g.N(), phi, g.Diameter(), enc.Len(), ref, float64(enc.Len())/ref)
+	}
+}
+
+func makeGraph(family string, n int, seed int64) (*election.Graph, error) {
+	switch family {
+	case "random":
+		return election.RandomConnected(n, n/2, seed), nil
+	case "lollipop":
+		return election.Lollipop(n/2+2, n-n/2-2), nil
+	case "hk":
+		// Pick the largest admissible k <= n/(x+1) for x = 4.
+		k := n / 5
+		if k < 3 {
+			k = 3
+		}
+		return election.BuildHk(k, 4).G, nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

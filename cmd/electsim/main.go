@@ -1,0 +1,149 @@
+// Command electsim generates an anonymous port-labeled network, runs one
+// of the paper's leader-election algorithms on the LOCAL-model simulator,
+// and reports the elected leader, the time used, and the advice size.
+//
+// Usage:
+//
+//	electsim -graph lollipop -n 20 -algo mintime
+//	electsim -graph random -n 50 -seed 7 -algo milestone2 -concurrent
+//	electsim -graph necklace -n 4 -algo generic -x 5
+//
+// Graphs: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy.
+// Algorithms: mintime (Theorem 3.1), generic (Lemma 4.1, needs -x),
+// milestone1..milestone4 (Theorem 4.1), fullmap (Proposition 2.1),
+// dplusphi (remark after Theorem 4.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	election "repro"
+)
+
+func main() {
+	var (
+		graphKind  = flag.String("graph", "lollipop", "graph family: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy")
+		load       = flag.String("load", "", "load the graph from a file in the text format instead of generating one")
+		save       = flag.String("save", "", "write the generated graph to a file in the text format")
+		n          = flag.Int("n", 16, "size parameter of the graph family")
+		seed       = flag.Int64("seed", 1, "seed for random graphs")
+		algo       = flag.String("algo", "mintime", "mintime, generic, milestone1..4, fullmap, dplusphi")
+		x          = flag.Int("x", 0, "parameter x for -algo generic (default: the election index)")
+		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
+		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
+	)
+	flag.Parse()
+
+	var g *election.Graph
+	var err error
+	if *load != "" {
+		g, err = loadGraph(*load)
+	} else {
+		g, err = makeGraph(*graphKind, *n, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "electsim:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		if err := os.WriteFile(*save, []byte(g.Text()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "electsim:", err)
+			os.Exit(1)
+		}
+	}
+	label := *graphKind
+	if *load != "" {
+		label = "file:" + *load
+	}
+	s := election.NewSystem()
+	phi, feasible := s.ElectionIndex(g)
+	fmt.Printf("graph %s: n=%d m=%d diameter=%d feasible=%v", label, g.N(), g.M(), g.Diameter(), feasible)
+	if feasible {
+		fmt.Printf(" electionIndex=%d", phi)
+	}
+	fmt.Println()
+	if !feasible {
+		fmt.Println("leader election is impossible in this graph (symmetric views)")
+		os.Exit(2)
+	}
+
+	opts := election.Options{Concurrent: *concurrent, Wire: *wire}
+	var res *election.Result
+	switch *algo {
+	case "mintime":
+		res, err = s.RunMinTime(g, opts)
+	case "generic":
+		if *x == 0 {
+			*x = phi
+		}
+		res, err = s.RunGeneric(g, *x, opts)
+	case "milestone1", "milestone2", "milestone3", "milestone4":
+		res, err = s.RunMilestone(g, int((*algo)[9]-'0'), opts)
+	case "fullmap":
+		res, err = s.RunFullMap(g, opts)
+	case "dplusphi":
+		res, err = s.RunDPlusPhi(g, opts)
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "electsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("elected leader: node %d\n", res.Leader)
+	fmt.Printf("time: %d rounds (diameter %d, election index %d)\n", res.Time, g.Diameter(), phi)
+	fmt.Printf("advice: %d bits\n", res.AdviceBits)
+	if res.Messages > 0 {
+		fmt.Printf("messages: %d", res.Messages)
+		if res.WireBits > 0 {
+			fmt.Printf(" (%d bits on the wire)", res.WireBits)
+		}
+		fmt.Println()
+	}
+}
+
+func loadGraph(path string) (*election.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return election.ReadGraph(f)
+}
+
+func makeGraph(kind string, n int, seed int64) (*election.Graph, error) {
+	switch kind {
+	case "lollipop":
+		if n < 5 {
+			n = 5
+		}
+		return election.Lollipop(n/2+2, n-n/2-2), nil
+	case "random":
+		return election.RandomConnected(n, n/2, seed), nil
+	case "grid":
+		return election.Grid(n, n-1), nil
+	case "k-bipartite":
+		return election.CompleteBipartite(n/2, n-n/2), nil
+	case "hk":
+		return election.BuildHk(n, 3).G, nil
+	case "necklace":
+		k := n
+		if k%2 != 0 {
+			k++
+		}
+		return election.BuildNecklace(k, 3, 3, election.NecklaceCode(k, 3, 0)).G, nil
+	case "s0":
+		return election.BuildS0Member(1, 2, n%3).G, nil
+	case "hairy":
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = i % 4
+		}
+		sizes[0] = 5
+		return election.BuildHairyRing(sizes).G, nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}

@@ -1,0 +1,146 @@
+// Command families builds the paper's lower-bound constructions, checks
+// the structural properties their proofs rely on, and reports the
+// entropy counts (how many advice bits the family forces) next to the
+// corresponding theorem's bound — experiments E4, E5, E8, E9 and E10 of
+// DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	election "repro"
+)
+
+func main() {
+	which := flag.String("family", "all", "gk, necklace, s0, merge, hairy, or all")
+	flag.Parse()
+	ok := true
+	if *which == "gk" || *which == "all" {
+		ok = reportGk() && ok
+	}
+	if *which == "necklace" || *which == "all" {
+		ok = reportNecklace() && ok
+	}
+	if *which == "s0" || *which == "all" {
+		ok = reportS0() && ok
+	}
+	if *which == "merge" || *which == "all" {
+		ok = reportMerge() && ok
+	}
+	if *which == "hairy" || *which == "all" {
+		ok = reportHairy() && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func reportGk() bool {
+	fmt.Println("== family G_k (Theorem 3.2, Figure 1): phi = 1, advice entropy log2((k-1)!) ==")
+	fmt.Printf("%-4s %-4s %-6s %-6s %-14s %-16s\n", "k", "x", "n", "phi", "entropyBits", "n*loglog(n)")
+	good := true
+	s := election.NewSystem()
+	for _, k := range []int{4, 5, 6, 8} {
+		x := 3
+		m := election.BuildGkMember(k, x, perm(k))
+		phi, feasible := s.ElectionIndex(m.G)
+		if !feasible || phi != 1 {
+			fmt.Printf("k=%d: FAILED phi=%d feasible=%v\n", k, phi, feasible)
+			good = false
+			continue
+		}
+		n := float64(m.G.N())
+		fmt.Printf("%-4d %-4d %-6d %-6d %-14.1f %-16.1f\n",
+			k, x, m.G.N(), phi, election.GkEntropyBits(k), n*math.Log2(math.Log2(n)))
+	}
+	return good
+}
+
+func perm(k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	// a non-trivial permutation fixing position 0
+	if k > 2 {
+		p[1], p[2] = p[2], p[1]
+	}
+	return p
+}
+
+func reportNecklace() bool {
+	fmt.Println("== k-necklaces (Theorem 3.3, Figure 2): phi as targeted, entropy (k-3)log2(x+1) ==")
+	fmt.Printf("%-4s %-4s %-5s %-6s %-6s %-14s %-20s\n", "k", "x", "phi", "n", "got", "entropyBits", "n(loglog n)^2/log n")
+	good := true
+	s := election.NewSystem()
+	for _, phi := range []int{2, 3, 5} {
+		k, x := 4, 3
+		nk := election.BuildNecklace(k, x, phi, election.NecklaceCode(k, x, 1))
+		got, feasible := s.ElectionIndex(nk.G)
+		if !feasible || got != phi {
+			fmt.Printf("phi=%d: FAILED got=%d feasible=%v\n", phi, got, feasible)
+			good = false
+			continue
+		}
+		n := float64(nk.G.N())
+		ll := math.Log2(math.Log2(n))
+		fmt.Printf("%-4d %-4d %-5d %-6d %-6d %-14.1f %-20.1f\n",
+			k, x, phi, nk.G.N(), got, election.NecklaceEntropyBits(k, x), n*ll*ll/math.Log2(n))
+	}
+	return good
+}
+
+func reportS0() bool {
+	fmt.Println("== S0 sequence (Theorem 4.2, Figure 5): phi = 1, principal distance = diameter ==")
+	fmt.Printf("%-4s %-6s %-6s %-6s %-10s\n", "i", "x_i", "n", "phi", "dist=diam")
+	good := true
+	s := election.NewSystem()
+	for i := 0; i <= 2; i++ {
+		m := election.BuildS0Member(1, 2, i)
+		phi, feasible := s.ElectionIndex(m.G)
+		d := m.G.Diameter()
+		dist := m.G.Dist(m.LeftPrincipal, m.RightPrincipal)
+		okRow := feasible && phi == 1 && dist == d
+		if !okRow {
+			good = false
+		}
+		fmt.Printf("%-4d %-6d %-6d %-6d %-10v\n", i, m.XI, m.G.N(), phi, dist == d)
+	}
+	return good
+}
+
+func reportMerge() bool {
+	fmt.Println("== merge operation (Theorem 4.2, Figures 6-8): principal view coincidence ==")
+	h1 := election.BuildS0Member(1, 2, 0).Locked()
+	h2 := election.BuildS0Member(1, 2, 1).Locked()
+	x := h1.G.MaxDegree()
+	if d := h2.G.MaxDegree(); d > x {
+		x = d
+	}
+	ell := 3
+	q := election.Merge(h1, h2, election.MergeParams{Ell: ell, X: x, ChainLen: 4})
+	s := election.NewSystem()
+	phi, feasible := s.ElectionIndex(q.G)
+	fmt.Printf("merged: n=%d diameter=%d feasible=%v phi=%d (inputs %d, %d nodes)\n",
+		q.G.N(), q.G.Diameter(), feasible, phi, h1.G.N(), h2.G.N())
+	dist := h1.G.Dist(h1.LeftPrincipal, h1.Right.Central)
+	depth := dist + ell - 2
+	fmt.Printf("left principal views coincide with input up to depth %d (dist %d + ell %d - 2)\n", depth, dist, ell)
+	return feasible
+}
+
+func reportHairy() bool {
+	fmt.Println("== hairy rings (Proposition 4.1, Figure 9): constant advice is fooled ==")
+	h1 := election.BuildHairyRing([]int{2, 0, 3, 1})
+	h2 := election.BuildHairyRing([]int{1, 4, 0, 2})
+	cg := election.BuildComposed([]election.Cut{h1.CutAt(0), h2.CutAt(0)}, 6, 7)
+	s := election.NewSystem()
+	phi, feasible := s.ElectionIndex(cg.H.G)
+	fmt.Printf("composed: n=%d feasible=%v phi=%d\n", cg.H.G.N(), feasible, phi)
+	f1, f2 := cg.FocusNodes(0, len(h1.Sizes), len(h1.Sizes)*4)
+	fmt.Printf("foci at ring distance %d share the cut node's bounded views\n", cg.H.G.Dist(f1, f2))
+	return feasible
+}

@@ -1,0 +1,296 @@
+// Package election is a complete implementation of deterministic leader
+// election with advice in anonymous networks, reproducing
+//
+//	Yoann Dieudonné and Andrzej Pelc,
+//	"Impact of Knowledge on Election Time in Anonymous Networks",
+//	SPAA 2017 (arXiv:1604.05023).
+//
+// Networks are simple connected graphs whose nodes are anonymous but
+// whose edges carry a local port number at each endpoint. Leader election
+// means every node outputs a port sequence describing a simple path to a
+// common node, the leader. The package provides:
+//
+//   - the graph model and generators (NewBuilder, Ring, Clique, ...);
+//   - augmented truncated views and the election index φ(G)
+//     (ElectionIndex, Feasible);
+//   - the oracle advice of Theorem 3.1 and the minimum-time election
+//     algorithm Elect (ComputeAdvice, RunMinTime);
+//   - the large-time algorithms Generic(x) and Election1..4 of Section 4
+//     (RunGeneric, RunMilestone, RunFullMap, RunDPlusPhi);
+//   - every lower-bound family of the paper (see families.go);
+//   - a LOCAL-model simulator with a goroutine-per-node engine.
+//
+// A System owns the view-interning state; create one per workload with
+// NewSystem and use it for all operations on related graphs.
+package election
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/algorithms"
+	"repro/internal/bits"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// Graph is an anonymous port-labeled network (see internal/graph).
+type Graph = graph.Graph
+
+// Builder assembles a Graph edge by edge.
+type Builder = graph.Builder
+
+// Bits is an immutable bit string; advice sizes are Bits lengths.
+type Bits = bits.String
+
+// BitsFromString parses a Bits value from a "0101" textual form.
+var BitsFromString = bits.New
+
+// Advice is the decoded oracle advice of Algorithm ComputeAdvice.
+type Advice = advice.Advice
+
+// Re-exported generators.
+var (
+	NewBuilder        = graph.NewBuilder
+	Ring              = graph.Ring
+	Path              = graph.Path
+	Clique            = graph.Clique
+	Star              = graph.Star
+	CompleteBipartite = graph.CompleteBipartite
+	Grid              = graph.Grid
+	Hypercube         = graph.Hypercube
+	Lollipop          = graph.Lollipop
+	RandomConnected   = graph.RandomConnected
+	ShufflePorts      = graph.ShufflePorts
+	Isomorphic        = graph.Isomorphic
+	Torus             = graph.Torus
+	BinaryTree        = graph.BinaryTree
+	Caterpillar       = graph.Caterpillar
+	Wheel             = graph.Wheel
+	WheelWithTail     = graph.WheelWithTail
+	Broom             = graph.Broom
+)
+
+// System owns the shared view-interning table used by the oracle and the
+// simulated nodes. It is safe for concurrent use.
+type System struct {
+	tab *view.Table
+}
+
+// NewSystem returns a fresh System.
+func NewSystem() *System { return &System{tab: view.NewTable()} }
+
+// ElectionIndex returns φ(g) and whether g is feasible (Proposition 2.1):
+// φ is the smallest depth at which the augmented truncated views of all
+// nodes are distinct, and is the minimum time in which leader election
+// can be performed when the map of g is known.
+func (s *System) ElectionIndex(g *Graph) (phi int, feasible bool) {
+	return view.ElectionIndex(s.tab, g)
+}
+
+// Feasible reports whether leader election is at all possible in g.
+func (s *System) Feasible(g *Graph) bool { return view.Feasible(s.tab, g) }
+
+// ComputeAdvice runs the oracle of Theorem 3.1 and returns the advice
+// both decoded and encoded; the encoded length is O(n log n) bits.
+func (s *System) ComputeAdvice(g *Graph) (*Advice, Bits, error) {
+	o := advice.NewOracle(s.tab)
+	a, err := o.ComputeAdvice(g)
+	if err != nil {
+		return nil, Bits{}, err
+	}
+	return a, a.Encode(), nil
+}
+
+// Options configures a simulation run. The zero value selects the
+// deterministic sequential engine with a generous round budget.
+type Options struct {
+	Concurrent bool  // one goroutine per node, channel message passing
+	Wire       bool  // serialize every message to bits (concurrent only)
+	Async      bool  // asynchronous network + time-stamp synchronizer
+	AsyncSeed  int64 // message-delay seed for Async runs
+	MaxRounds  int   // 0 means a default proportional to the graph size
+}
+
+// Result reports an election outcome.
+type Result struct {
+	Leader     int     // sim id of the elected node
+	Time       int     // rounds until the last node decided
+	AdviceBits int     // length of the advice string used
+	Outputs    [][]int // per-node port sequences (p1, q1, ...)
+	Rounds     []int   // per-node decision rounds
+	Messages   int     // total messages exchanged
+	WireBits   int     // total bits on the wire (Wire mode only)
+}
+
+func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result, error) {
+	maxRounds := o.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = sim.DefaultMaxRounds(g)
+	}
+	var res *sim.Result
+	var err error
+	switch {
+	case o.Async:
+		var ar *sim.AsyncResult
+		ar, err = sim.RunAsync(s.tab, g, f, maxRounds, o.AsyncSeed)
+		if ar != nil {
+			res = &ar.Result
+		}
+	case o.Concurrent:
+		res, err = sim.RunConcurrent(s.tab, g, f, maxRounds, o.Wire)
+	default:
+		res, err = sim.RunSequential(s.tab, g, f, maxRounds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	leader, err := sim.Verify(g, res.Outputs)
+	if err != nil {
+		return nil, fmt.Errorf("election failed verification: %w", err)
+	}
+	return &Result{
+		Leader: leader, Time: res.Time, AdviceBits: adviceLen,
+		Outputs: res.Outputs, Rounds: res.Rounds,
+		Messages: res.Messages, WireBits: res.WireBits,
+	}, nil
+}
+
+// RunMinTime performs the complete Theorem 3.1 pipeline on g: the oracle
+// computes O(n log n)-bit advice, every node runs Algorithm Elect, and
+// the election completes in exactly φ(g) rounds.
+func (s *System) RunMinTime(g *Graph, o Options) (*Result, error) {
+	_, enc, err := s.ComputeAdvice(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunElect(g, enc, o)
+}
+
+// RunElect runs Algorithm Elect with an externally supplied advice
+// string (normally produced by ComputeAdvice).
+func (s *System) RunElect(g *Graph, adv Bits, o Options) (*Result, error) {
+	f, err := algorithms.NewElectFactory(s.tab, adv)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(g, f, adv.Len(), o)
+}
+
+// RunGeneric runs Algorithm Generic(x) (Lemma 4.1): correct for any
+// x >= φ(g), in time at most D + x + 1, with no other advice.
+func (s *System) RunGeneric(g *Graph, x int, o Options) (*Result, error) {
+	if x < 1 {
+		return nil, errors.New("election: Generic requires x >= 1")
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = g.Diameter() + x + 2
+	}
+	return s.run(g, algorithms.NewGenericFactory(s.tab, x), 0, o)
+}
+
+// MilestoneAdvice returns the advice string and Generic parameter of
+// Algorithm Election_i (i in 1..4, Theorem 4.1) for election index phi.
+func MilestoneAdvice(i, phi int) (Bits, int) { return algorithms.ElectionAdvice(i, phi) }
+
+// RunMilestone runs Algorithm Election_i with its Theorem 4.1 advice,
+// derived from the true election index of g.
+func (s *System) RunMilestone(g *Graph, i int, o Options) (*Result, error) {
+	phi, ok := s.ElectionIndex(g)
+	if !ok {
+		return nil, errors.New("election: graph is infeasible")
+	}
+	adv, p := algorithms.ElectionAdvice(i, phi)
+	f, err := algorithms.NewElectionFactory(s.tab, i, adv)
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxRounds == 0 {
+		if p > 1<<20 {
+			return nil, fmt.Errorf("election: milestone %d parameter %d too large to simulate", i, p)
+		}
+		o.MaxRounds = g.Diameter() + p + 2
+	}
+	return s.run(g, f, adv.Len(), o)
+}
+
+// RunFullMap runs the Proposition 2.1 algorithm: every node is given an
+// isomorphic map of g and elects in exactly φ(g) rounds with no advice
+// string (the map itself is the knowledge).
+func (s *System) RunFullMap(g *Graph, o Options) (*Result, error) {
+	f, _, err := algorithms.NewFullMapFactory(s.tab, g)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(g, f, 0, o)
+}
+
+// RunDPlusPhi runs the algorithm of the remark after Theorem 4.1: nodes
+// receive (D, φ) as advice and elect in exactly D + φ rounds.
+func (s *System) RunDPlusPhi(g *Graph, o Options) (*Result, error) {
+	phi, ok := s.ElectionIndex(g)
+	if !ok {
+		return nil, errors.New("election: graph is infeasible")
+	}
+	adv := algorithms.DPlusPhiAdvice(g.Diameter(), phi)
+	f, err := algorithms.NewDPlusPhiFactory(s.tab, adv)
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = g.Diameter() + phi + 2
+	}
+	return s.run(g, f, adv.Len(), o)
+}
+
+// Verify checks an election outcome against the paper's correctness
+// condition and returns the leader.
+func Verify(g *Graph, outputs [][]int) (int, error) { return sim.Verify(g, outputs) }
+
+// ComputeNaiveAdvice runs the strawman oracle that Section 3's
+// introduction rejects: it ships every depth-φ view explicitly.
+// maxBits caps the output (0 = no cap); exceeding it returns an error,
+// which for deep election indices is the expected outcome.
+func (s *System) ComputeNaiveAdvice(g *Graph, maxBits int) (Bits, error) {
+	o := advice.NewOracle(s.tab)
+	na, err := o.ComputeNaiveAdvice(g, maxBits)
+	if err != nil {
+		return Bits{}, err
+	}
+	return na.Encode(), nil
+}
+
+// RunNaiveMinTime elects with the naive explicit-view advice — same φ
+// rounds as RunMinTime, vastly larger advice. It exists as the baseline
+// the trie-based oracle is compared against.
+func (s *System) RunNaiveMinTime(g *Graph, maxBits int, o Options) (*Result, error) {
+	enc, err := s.ComputeNaiveAdvice(g, maxBits)
+	if err != nil {
+		return nil, err
+	}
+	f, err := algorithms.NewNaiveElectFactory(s.tab, enc)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(g, f, enc.Len(), o)
+}
+
+// RunTreeElect runs the advice-free tree election algorithm: every node
+// reconstructs the tree from its view and stops at its eccentricity, so
+// election completes by round D. It errors (via the round budget) on
+// non-trees — the contrast with Proposition 4.1.
+func (s *System) RunTreeElect(g *Graph, o Options) (*Result, error) {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = g.Diameter() + 2
+	}
+	return s.run(g, algorithms.NewTreeElectFactory(s.tab), 0, o)
+}
+
+// StablePartition returns the partition of nodes into classes of equal
+// infinite views (Yamashita–Kameda) and the depth at which refinement
+// stabilized; the graph is feasible iff every class is a singleton.
+func (s *System) StablePartition(g *Graph) (classes []int, depth int) {
+	return view.StablePartition(s.tab, g)
+}

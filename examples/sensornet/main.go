@@ -1,0 +1,52 @@
+// Sensor network rendezvous: a field of anonymous sensors (no serial
+// numbers, no MACs revealed) must agree on a single aggregation head.
+// The deployment tool knows the radio topology at install time and can
+// preload each sensor with a tiny identical configuration blob — the
+// "advice" of the paper.
+//
+// This example contrasts the whole advice/time tradeoff on one topology:
+// the full O(n log n)-bit advice electing in φ rounds, the (D, φ) pair
+// electing in D+φ rounds, and the four Theorem 4.1 milestones electing
+// with 1-2 bytes in slightly more time.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	election "repro"
+)
+
+func main() {
+	// A 60-sensor field: random connected radio graph.
+	g := election.RandomConnected(60, 45, 2024)
+	s := election.NewSystem()
+	phi, ok := s.ElectionIndex(g)
+	if !ok {
+		log.Fatal("unlucky topology: resample the field")
+	}
+	fmt.Printf("sensor field: n=%d radios, m=%d links, diameter D=%d, election index φ=%d\n\n",
+		g.N(), g.M(), g.Diameter(), phi)
+	fmt.Printf("%-28s %-12s %-10s\n", "protocol", "advice bits", "rounds")
+
+	row := func(name string, res *election.Result, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-28s %-12d %-10d\n", name, res.AdviceBits, res.Time)
+	}
+
+	res, err := s.RunMinTime(g, election.Options{})
+	row("min-time (Thm 3.1)", res, err)
+	res, err = s.RunDPlusPhi(g, election.Options{})
+	row("given (D, φ)", res, err)
+	for i := 1; i <= 4; i++ {
+		res, err = s.RunMilestone(g, i, election.Options{})
+		row(fmt.Sprintf("milestone %d (Thm 4.1)", i), res, err)
+	}
+
+	fmt.Println("\nevery protocol converged on an aggregation head; the paper's tradeoff")
+	fmt.Println("is visible above: orders of magnitude less advice for slightly more time.")
+}

@@ -1,0 +1,86 @@
+package election
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/families"
+	graphio "repro/internal/graph"
+)
+
+// Lower-bound constructions of the paper, re-exported. See
+// internal/families for full documentation.
+type (
+	// HK is a member of the family G_k of Theorem 3.2 (Figure 1).
+	HK = families.HK
+	// Necklace is a k-necklace of Theorem 3.3 (Figure 2).
+	Necklace = families.Necklace
+	// Lock locates a z-lock inside a graph (Theorem 4.2, Figure 3).
+	Lock = families.Lock
+	// S0Member is a graph of the sequence S₀ of Theorem 4.2 (Figure 5).
+	S0Member = families.S0Member
+	// LockedGraph is a graph of the form L1 * M * L2 (Theorem 4.2).
+	LockedGraph = families.LockedGraph
+	// TkSequence is the inductive merge hierarchy T_0, T_1, ... (Thm 4.2).
+	TkSequence = families.TkSequence
+	// MergeParams scales the merge operation of Theorem 4.2.
+	MergeParams = families.MergeParams
+	// PVNode is a pruned view (Theorem 4.2, Figure 6).
+	PVNode = families.PVNode
+	// HairyRing is a graph of the class H of Proposition 4.1 (Figure 9).
+	HairyRing = families.HairyRing
+	// Cut is the cut of a hairy ring (Figure 9b).
+	Cut = families.Cut
+	// ComposedHairyRing is the adversarial composition of Proposition 4.1.
+	ComposedHairyRing = families.ComposedHairyRing
+	// Part identifies one of the four milestones of Theorems 4.1/4.2.
+	Part = families.Part
+)
+
+// The four milestone parts of Theorems 4.1 and 4.2.
+const (
+	PartAdditive    = families.PartAdditive
+	PartLinear      = families.PartLinear
+	PartPolynomial  = families.PartPolynomial
+	PartExponential = families.PartExponential
+)
+
+var (
+	// Graph text-format I/O (see internal/graph/io.go).
+	ReadGraph  = graphio.Read
+	ParseGraph = graphio.Parse
+
+	// F(x) cliques and their enumeration (Section 3).
+	FXGraph    = families.FXGraph
+	FXCount    = families.FXCount
+	FXSequence = families.FXSequence
+
+	// Theorem 3.2 (Figure 1).
+	BuildHk       = families.BuildHk
+	BuildGkMember = families.BuildGkMember
+	GkEntropyBits = families.GkEntropyBits
+
+	// Theorem 3.3 (Figure 2).
+	BuildNecklace       = families.BuildNecklace
+	NecklaceCode        = families.NecklaceCode
+	NecklaceCodeCount   = families.NecklaceCodeCount
+	NecklaceEntropyBits = families.NecklaceEntropyBits
+
+	// Theorem 4.2 (Figures 3-8).
+	ZLockGraph           = families.ZLockGraph
+	BuildS0Member        = families.BuildS0Member
+	S0XI                 = families.S0XI
+	BuildPrunedView      = families.BuildPrunedView
+	SubstitutePrunedView = families.SubstitutePrunedView
+	Merge                = families.Merge
+	Glue                 = families.Glue
+	PaperMergeParams     = families.PaperMergeParams
+	BuildTkSequence      = families.BuildTkSequence
+
+	// Proposition 4.1 (Figure 9).
+	BuildHairyRing = families.BuildHairyRing
+	BuildComposed  = families.BuildComposed
+
+	// Arithmetic helpers of Theorem 4.1.
+	Tower     = algorithms.Tower
+	FloorLog2 = algorithms.FloorLog2
+	LogStar   = algorithms.LogStar
+)

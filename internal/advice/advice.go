@@ -1,0 +1,178 @@
+// Package advice implements the oracle side of the paper's minimum-time
+// election: Algorithm ComputeAdvice (Algorithm 5), which, given the whole
+// graph G, produces the advice string Concat(bin(φ), A1, A2) of length
+// O(n log n) (Theorem 3.1, part 1). A1 = Concat(bin(E1), bin(E2)) encodes
+// the discrimination tries; A2 encodes the canonical BFS tree of G rooted
+// at the node whose retrieved label is 1, with every node labeled by its
+// retrieved label.
+package advice
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/trie"
+	"repro/internal/view"
+)
+
+// LabeledTreeEdge is an edge of the advice BFS tree A2, identified by the
+// temporary labels of its endpoints and the graph's port numbers.
+type LabeledTreeEdge struct {
+	ParentLabel int
+	ChildLabel  int
+	PortParent  int
+	PortChild   int
+}
+
+// Advice is the decoded form of the oracle's output. Nodes executing
+// Algorithm Elect reconstruct exactly this structure from the bit string.
+type Advice struct {
+	Phi  int               // election index of the graph
+	E1   *trie.Trie        // discriminates depth-1 views
+	E2   trie.E2           // discriminates deeper views, level by level
+	Tree []LabeledTreeEdge // canonical BFS tree, labels in {1..n}, root label 1
+}
+
+// Oracle holds the state shared between advice computation and any
+// subsequent label queries (tests use it to cross-check node behaviour).
+type Oracle struct {
+	Tab     *view.Table
+	Labeler *trie.Labeler
+}
+
+// NewOracle returns an oracle interning into tab.
+func NewOracle(tab *view.Table) *Oracle {
+	return &Oracle{Tab: tab, Labeler: trie.NewLabeler(tab)}
+}
+
+// distinctSorted returns the distinct views of vs in canonical order.
+func distinctSorted(tab *view.Table, vs []*view.View) []*view.View {
+	seen := make(map[*view.View]bool, len(vs))
+	var out []*view.View
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	tab.Sort(out)
+	return out
+}
+
+// ComputeAdvice is Algorithm 5 of the paper. It requires g to be feasible
+// and returns the decoded advice; use (*Advice).Encode for the bit string.
+func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
+	phi, feasible := view.ElectionIndex(o.Tab, g)
+	if !feasible {
+		return nil, errors.New("advice: graph is infeasible (symmetric views)")
+	}
+	if g.N() == 1 {
+		return nil, errors.New("advice: leader election on one node is trivial; model requires n >= 3")
+	}
+	levels := view.Levels(o.Tab, g, phi)
+	lb := o.Labeler
+
+	// E1 discriminates all depth-1 views.
+	s1 := distinctSorted(o.Tab, levels[1])
+	e1 := lb.BuildTrie(s1, nil, nil)
+
+	// E2: for each depth i = 2..phi, for each depth-(i-1) view B' (in
+	// label order j), if several depth-i views share the truncation B',
+	// add the couple (j, BuildTrie of that set).
+	var e2 trie.E2
+	for i := 2; i <= phi; i++ {
+		prev := distinctSorted(o.Tab, levels[i-1])
+		byTrunc := make(map[*view.View][]*view.View)
+		for _, b := range distinctSorted(o.Tab, levels[i]) {
+			tr := o.Tab.Truncate(b)
+			byTrunc[tr] = append(byTrunc[tr], b)
+		}
+		var couples []trie.Couple
+		for _, bPrime := range prev {
+			x := byTrunc[bPrime]
+			if len(x) > 1 {
+				j := lb.RetrieveLabel(bPrime, e1, e2)
+				couples = append(couples, trie.Couple{J: j, T: lb.BuildTrie(x, e1, e2)})
+			}
+		}
+		sort.Slice(couples, func(a, b int) bool { return couples[a].J < couples[b].J })
+		e2 = append(e2, trie.LevelList{Depth: i, Couples: couples})
+	}
+
+	// Final labels at depth phi; find the root r with label 1 and build
+	// the canonical BFS tree with labeled nodes.
+	labelOf := make([]int, g.N())
+	root := -1
+	seenLabel := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		l := lb.RetrieveLabel(levels[phi][v], e1, e2)
+		if l < 1 || l > g.N() {
+			return nil, fmt.Errorf("advice: label %d out of range [1,%d] at node %d", l, g.N(), v)
+		}
+		if u, dup := seenLabel[l]; dup {
+			return nil, fmt.Errorf("advice: label %d assigned to both nodes %d and %d", l, u, v)
+		}
+		seenLabel[l] = v
+		labelOf[v] = l
+		if l == 1 {
+			root = v
+		}
+	}
+	if root < 0 {
+		return nil, errors.New("advice: no node received label 1")
+	}
+	var tree []LabeledTreeEdge
+	for _, e := range g.CanonicalBFSTree(root) {
+		tree = append(tree, LabeledTreeEdge{
+			ParentLabel: labelOf[e.Parent],
+			ChildLabel:  labelOf[e.Child],
+			PortParent:  e.PortParent,
+			PortChild:   e.PortChild,
+		})
+	}
+	// Order A2 by labels so the encoded advice is a pure function of the
+	// anonymous graph: two port-isomorphic graphs get bit-identical
+	// advice no matter how their construction numbered the nodes.
+	sort.Slice(tree, func(i, j int) bool {
+		if tree[i].ParentLabel != tree[j].ParentLabel {
+			return tree[i].ParentLabel < tree[j].ParentLabel
+		}
+		return tree[i].PortParent < tree[j].PortParent
+	})
+	return &Advice{Phi: phi, E1: e1, E2: e2, Tree: tree}, nil
+}
+
+// NodeLabel returns the temporary label RetrieveLabel(B^phi(v), E1, E2)
+// that the oracle assigned; exposed for tests and tools.
+func (o *Oracle) NodeLabel(a *Advice, b *view.View) int {
+	return o.Labeler.RetrieveLabel(b, a.E1, a.E2)
+}
+
+// PathToLeader returns the port sequence of the unique simple path in the
+// advice tree from the node labeled x to the root (labeled 1). It returns
+// an error if x does not occur in the tree.
+func (a *Advice) PathToLeader(x int) ([]int, error) {
+	if x == 1 {
+		return []int{}, nil
+	}
+	parent := make(map[int]LabeledTreeEdge, len(a.Tree))
+	for _, e := range a.Tree {
+		parent[e.ChildLabel] = e
+	}
+	var ports []int
+	cur := x
+	for cur != 1 {
+		e, ok := parent[cur]
+		if !ok {
+			return nil, fmt.Errorf("advice: label %d not in tree", x)
+		}
+		ports = append(ports, e.PortChild, e.PortParent)
+		cur = e.ParentLabel
+		if len(ports) > 2*len(a.Tree)+2 {
+			return nil, errors.New("advice: cycle in tree encoding")
+		}
+	}
+	return ports, nil
+}

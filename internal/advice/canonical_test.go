@@ -1,0 +1,98 @@
+package advice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// The advice must be a pure function of the anonymous graph: permuting
+// the simulation identities of the nodes (which the algorithm can never
+// observe) must produce bit-identical advice.
+func TestAdviceInvariantUnderRelabeling(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(12, 6, seed)
+		o1 := NewOracle(view.NewTable())
+		a1, err := o1.ComputeAdvice(g)
+		if err != nil {
+			return true // infeasible random graph: skip
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		g2 := graph.RelabelNodes(g, rng.Perm(g.N()))
+		o2 := NewOracle(view.NewTable())
+		a2, err := o2.ComputeAdvice(g2)
+		if err != nil {
+			return false
+		}
+		return bits.Equal(a1.Encode(), a2.Encode())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The same invariance for named constructions with deeper election
+// indices (exercising E2 canonicity too).
+func TestAdviceInvariantDeepPhi(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Lollipop(3, 10), // phi ~ 4
+		graph.Lollipop(8, 10), // phi ~ 4, high degree
+	} {
+		o1 := NewOracle(view.NewTable())
+		a1, err := o1.ComputeAdvice(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := make([]int, g.N())
+		for i := range perm {
+			perm[i] = (i + 7) % g.N() // a fixed nontrivial rotation
+		}
+		g2 := graph.RelabelNodes(g, perm)
+		o2 := NewOracle(view.NewTable())
+		a2, err := o2.ComputeAdvice(g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bits.Equal(a1.Encode(), a2.Encode()) {
+			t.Error("advice differs across node relabelings")
+		}
+	}
+}
+
+// Determinism: computing the advice twice (fresh oracles, fresh tables)
+// yields identical bits.
+func TestAdviceDeterminism(t *testing.T) {
+	g := graph.Lollipop(5, 4)
+	a1, err := NewOracle(view.NewTable()).ComputeAdvice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewOracle(view.NewTable()).ComputeAdvice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(a1.Encode(), a2.Encode()) {
+		t.Error("advice is not deterministic")
+	}
+}
+
+// Election index and advice size are invariant under ShufflePorts only
+// in distribution, but are invariant under RelabelNodes exactly.
+func TestElectionIndexRelabelInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(10, 5, seed)
+		t1 := view.NewTable()
+		phi1, ok1 := view.ElectionIndex(t1, g)
+		rng := rand.New(rand.NewSource(^seed))
+		g2 := graph.RelabelNodes(g, rng.Perm(g.N()))
+		phi2, ok2 := view.ElectionIndex(t1, g2)
+		return ok1 == ok2 && phi1 == phi2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

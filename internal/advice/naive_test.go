@@ -1,0 +1,121 @@
+package advice
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+func TestNaiveAdviceStructure(t *testing.T) {
+	for name, g := range feasibleTestGraphs() {
+		o := NewOracle(view.NewTable())
+		na, err := o.ComputeNaiveAdvice(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(na.Views) != g.N() {
+			t.Errorf("%s: %d views, want n = %d", name, len(na.Views), g.N())
+		}
+		if len(na.Tree) != g.N()-1 {
+			t.Errorf("%s: tree size wrong", name)
+		}
+		// Views are sorted and distinct.
+		for i := 1; i < len(na.Views); i++ {
+			if bits.Equal(na.Views[i-1], na.Views[i]) {
+				t.Errorf("%s: duplicate serialized views", name)
+			}
+		}
+	}
+}
+
+func TestNaiveAdviceRoundTrip(t *testing.T) {
+	g := graph.Lollipop(5, 3)
+	o := NewOracle(view.NewTable())
+	na, err := o.ComputeNaiveAdvice(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := na.Encode()
+	dec, err := DecodeNaive(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Phi != na.Phi || len(dec.Views) != len(na.Views) || len(dec.Tree) != len(na.Tree) {
+		t.Fatal("round trip structure mismatch")
+	}
+	for i := range na.Views {
+		if !bits.Equal(dec.Views[i], na.Views[i]) {
+			t.Fatal("view list mismatch")
+		}
+	}
+	if _, err := DecodeNaive(bits.New("10")); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestNaiveRankOf(t *testing.T) {
+	g := graph.Path(5)
+	tab := view.NewTable()
+	o := NewOracle(tab)
+	na, err := o.ComputeNaiveAdvice(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := view.Levels(tab, g, na.Phi)
+	seen := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		rk, err := na.RankOf(view.Serialize(levels[na.Phi][v]))
+		if err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+		if rk < 1 || rk > g.N() || seen[rk] {
+			t.Fatalf("node %d: bad rank %d", v, rk)
+		}
+		seen[rk] = true
+	}
+	if _, err := na.RankOf(bits.New("1111")); err == nil {
+		t.Error("alien view should not rank")
+	}
+}
+
+// The paper's point: the naive advice is strictly and substantially
+// larger than the trie-based advice, and the gap widens with phi.
+func TestNaiveAdviceIsLarger(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.RandomConnected(30, 30, 4), // phi = 1 or 2, dense
+		graph.Lollipop(8, 10),            // phi = 4
+	} {
+		o := NewOracle(view.NewTable())
+		a, err := o.ComputeAdvice(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, err := o.ComputeNaiveAdvice(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if na.Encode().Len() <= a.Encode().Len() {
+			t.Errorf("naive advice (%d bits) should exceed trie advice (%d bits)",
+				na.Encode().Len(), a.Encode().Len())
+		}
+	}
+}
+
+// For larger phi the naive advice blows up exponentially; the cap
+// mechanism reports it instead of exhausting memory.
+func TestNaiveAdviceBlowUpCapped(t *testing.T) {
+	g := graph.Lollipop(8, 14) // phi around 6, clique degree 8
+	o := NewOracle(view.NewTable())
+	if _, err := o.ComputeNaiveAdvice(g, 10_000); err == nil {
+		t.Skip("graph too tame for the cap; not an error")
+	}
+}
+
+func TestNaiveAdviceInfeasible(t *testing.T) {
+	o := NewOracle(view.NewTable())
+	if _, err := o.ComputeNaiveAdvice(graph.Ring(5), 0); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}

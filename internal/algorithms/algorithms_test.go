@@ -1,0 +1,347 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/advice"
+	"repro/internal/bits"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path5":      graph.Path(5),
+		"lollipop":   graph.Lollipop(5, 3),
+		"tail-lolli": graph.Lollipop(3, 10),
+		"grid43":     graph.Grid(4, 3),
+		"random15":   graph.RandomConnected(15, 8, 4),
+		"random25":   graph.RandomConnected(25, 12, 8),
+		"k23":        graph.CompleteBipartite(2, 3),
+	}
+}
+
+// Theorem 3.1 part 2, end to end: ComputeAdvice -> bits -> Elect on the
+// simulator elects a leader in exactly φ rounds, on both engines.
+func TestElectEndToEnd(t *testing.T) {
+	for name, g := range testGraphs() {
+		tab := view.NewTable()
+		o := advice.NewOracle(tab)
+		a, err := o.ComputeAdvice(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		enc := a.Encode()
+		for _, conc := range []bool{false, true} {
+			f, err := NewElectFactory(tab, enc)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			var res *sim.Result
+			if conc {
+				res, err = sim.RunConcurrent(tab, g, f, sim.DefaultMaxRounds(g), false)
+			} else {
+				res, err = sim.RunSequential(tab, g, f, sim.DefaultMaxRounds(g))
+			}
+			if err != nil {
+				t.Fatalf("%s conc=%v: %v", name, conc, err)
+			}
+			if res.Time != a.Phi {
+				t.Errorf("%s conc=%v: time %d, want φ = %d", name, conc, res.Time, a.Phi)
+			}
+			if _, err := sim.Verify(g, res.Outputs); err != nil {
+				t.Errorf("%s conc=%v: %v", name, conc, err)
+			}
+		}
+	}
+}
+
+func TestElectRejectsGarbageAdvice(t *testing.T) {
+	tab := view.NewTable()
+	if _, err := NewElectFactory(tab, view.Serialize(tab.Leaf(1))); err == nil {
+		t.Error("expected decode error for garbage advice")
+	}
+}
+
+// Lemma 4.1: Generic(x) with x >= φ elects a leader in time <= D + x + 1.
+func TestGenericCorrectAndFast(t *testing.T) {
+	for name, g := range testGraphs() {
+		tab := view.NewTable()
+		phi, ok := view.ElectionIndex(tab, g)
+		if !ok {
+			t.Fatalf("%s infeasible", name)
+		}
+		d := g.Diameter()
+		for _, x := range []int{phi, phi + 1, phi + 3} {
+			f := NewGenericFactory(tab, x)
+			res, err := sim.RunSequential(tab, g, f, d+x+5)
+			if err != nil {
+				t.Fatalf("%s x=%d: %v", name, x, err)
+			}
+			if res.Time > d+x+1 {
+				t.Errorf("%s x=%d: time %d > D+x+1 = %d", name, x, res.Time, d+x+1)
+			}
+			if _, err := sim.Verify(g, res.Outputs); err != nil {
+				t.Errorf("%s x=%d: %v", name, x, err)
+			}
+		}
+	}
+}
+
+// Generic elects the node with the lexicographically smallest view at
+// depth x — check the identity of the leader against the oracle's pick.
+func TestGenericElectsMinViewNode(t *testing.T) {
+	g := graph.Lollipop(5, 3)
+	tab := view.NewTable()
+	phi, _ := view.ElectionIndex(tab, g)
+	levels := view.Levels(tab, g, phi)
+	want := -1
+	min := tab.Min(levels[phi])
+	for v, w := range levels[phi] {
+		if w == min {
+			want = v
+		}
+	}
+	f := NewGenericFactory(tab, phi)
+	res, err := sim.RunSequential(tab, g, f, sim.DefaultMaxRounds(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader, err := sim.Verify(g, res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != want {
+		t.Errorf("leader %d, want %d", leader, want)
+	}
+}
+
+// Generic with x < φ must NOT produce a correct election (two nodes share
+// views at depth x, so they output identical sequences) — matching the
+// impossibility direction of Proposition 2.1.
+func TestGenericFailsBelowPhi(t *testing.T) {
+	g := graph.Lollipop(3, 10) // φ > 1
+	tab := view.NewTable()
+	phi, _ := view.ElectionIndex(tab, g)
+	if phi < 2 {
+		t.Skip("need φ >= 2")
+	}
+	f := NewGenericFactory(tab, phi-1)
+	res, err := sim.RunSequential(tab, g, f, sim.DefaultMaxRounds(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Verify(g, res.Outputs); err == nil {
+		t.Error("Generic(φ-1) should fail verification")
+	}
+}
+
+// Theorem 4.1: the four milestones all elect correctly within their time
+// bounds, with advice of the prescribed sizes.
+func TestElectionMilestones(t *testing.T) {
+	const c = 2
+	g := graph.Lollipop(3, 10)
+	tab := view.NewTable()
+	phi, _ := view.ElectionIndex(tab, g)
+	d := g.Diameter()
+	bounds := []int{d + phi + c, d + c*phi, d + pow(phi, c), d + pow(c, phi)}
+	for i := 1; i <= 4; i++ {
+		adv, p := ElectionAdvice(i, phi)
+		if p < phi {
+			t.Fatalf("milestone %d: P = %d < φ = %d", i, p, phi)
+		}
+		f, err := NewElectionFactory(tab, i, adv)
+		if err != nil {
+			t.Fatalf("milestone %d: %v", i, err)
+		}
+		res, err := sim.RunSequential(tab, g, f, d+p+5)
+		if err != nil {
+			t.Fatalf("milestone %d: %v", i, err)
+		}
+		if _, err := sim.Verify(g, res.Outputs); err != nil {
+			t.Errorf("milestone %d: %v", i, err)
+		}
+		if res.Time > bounds[i-1] {
+			t.Errorf("milestone %d: time %d > bound %d", i, res.Time, bounds[i-1])
+		}
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func TestElectionAdviceSizes(t *testing.T) {
+	// Advice sizes shrink along the milestones: |A1| >= |A2| >= |A3| >= |A4|
+	// and each is the binary representation of the prescribed quantity.
+	for _, phi := range []int{1, 2, 3, 5, 9, 17, 200, 65536} {
+		var sizes [5]int
+		for i := 1; i <= 4; i++ {
+			adv, p := ElectionAdvice(i, phi)
+			if p < phi {
+				t.Errorf("phi=%d milestone %d: P=%d < phi", phi, i, p)
+			}
+			sizes[i] = adv.Len()
+			// Decoding the advice yields the same parameter.
+			got, err := DecodeElectionAdvice(i, adv)
+			if err != nil || got != p {
+				t.Errorf("phi=%d milestone %d: decode %d,%v want %d", phi, i, got, err, p)
+			}
+		}
+		if sizes[2] > sizes[1] || sizes[3] > sizes[2] {
+			t.Errorf("phi=%d: advice sizes not shrinking: %v", phi, sizes[1:])
+		}
+		// log(log* φ) < log(log log φ) only kicks in for large φ; at tiny
+		// values the constants invert, exactly as the asymptotics allow.
+		if phi >= 65536 && sizes[4] > sizes[3] {
+			t.Errorf("phi=%d: milestone-4 advice larger than milestone 3: %v", phi, sizes[1:])
+		}
+	}
+}
+
+func TestElectionAdvicePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ElectionAdvice(0, 3) },
+		func() { ElectionAdvice(5, 3) },
+		func() { ElectionAdvice(1, 0) },
+		func() { FloorLog2(0) },
+		func() { LogStar(0) },
+		func() { Tower(1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTower(t *testing.T) {
+	want := []int{1, 2, 4, 16, 65536}
+	for i, w := range want {
+		if got := Tower(2, i); got != w {
+			t.Errorf("Tower(2,%d) = %d, want %d", i, got, w)
+		}
+	}
+	if Tower(2, 5) != TowerCap {
+		t.Error("Tower(2,5) should saturate")
+	}
+	if Tower(3, 2) != 27 {
+		t.Errorf("Tower(3,2) = %d, want 27", Tower(3, 2))
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for x, w := range cases {
+		if got := FloorLog2(x); got != w {
+			t.Errorf("FloorLog2(%d) = %d, want %d", x, got, w)
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 16: 3, 17: 4, 65536: 4, 65537: 5}
+	for x, w := range cases {
+		if got := LogStar(x); got != w {
+			t.Errorf("LogStar(%d) = %d, want %d", x, got, w)
+		}
+	}
+}
+
+// Proposition 2.1 upper bound: with the map as advice, election succeeds
+// in exactly φ rounds.
+func TestFullMapElection(t *testing.T) {
+	for name, g := range testGraphs() {
+		tab := view.NewTable()
+		f, phi, err := NewFullMapFactory(tab, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := sim.RunSequential(tab, g, f, sim.DefaultMaxRounds(g))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Time != phi {
+			t.Errorf("%s: time %d, want φ = %d", name, res.Time, phi)
+		}
+		if _, err := sim.Verify(g, res.Outputs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFullMapRejectsInfeasible(t *testing.T) {
+	tab := view.NewTable()
+	if _, _, err := NewFullMapFactory(tab, graph.Ring(5)); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}
+
+// Remark after Theorem 4.1: knowing (D, φ) suffices to elect in exactly
+// D + φ rounds.
+func TestDPlusPhiElection(t *testing.T) {
+	for name, g := range testGraphs() {
+		tab := view.NewTable()
+		phi, _ := view.ElectionIndex(tab, g)
+		d := g.Diameter()
+		f, err := NewDPlusPhiFactory(tab, DPlusPhiAdvice(d, phi))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := sim.RunSequential(tab, g, f, d+phi+2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Time != d+phi {
+			t.Errorf("%s: time %d, want D+φ = %d", name, res.Time, d+phi)
+		}
+		if _, err := sim.Verify(g, res.Outputs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDPlusPhiAdviceCodec(t *testing.T) {
+	adv := DPlusPhiAdvice(17, 3)
+	tab := view.NewTable()
+	if _, err := NewDPlusPhiFactory(tab, adv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDPlusPhiFactory(tab, bits.New("10")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+// Property: Generic(x) elects the same leader for every x >= φ.
+func TestGenericLeaderIndependentOfX(t *testing.T) {
+	f := func(seed int64, dx uint8) bool {
+		g := graph.RandomConnected(10, 5, seed)
+		tab := view.NewTable()
+		phi, ok := view.ElectionIndex(tab, g)
+		if !ok {
+			return true // skip infeasible
+		}
+		x := phi + int(dx%4)
+		res1, err1 := sim.RunSequential(tab, g, NewGenericFactory(tab, phi), sim.DefaultMaxRounds(g))
+		res2, err2 := sim.RunSequential(tab, g, NewGenericFactory(tab, x), sim.DefaultMaxRounds(g)+int(dx))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		l1, e1 := sim.Verify(g, res1.Outputs)
+		l2, e2 := sim.Verify(g, res2.Outputs)
+		return e1 == nil && e2 == nil && l1 == l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

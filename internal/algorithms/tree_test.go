@@ -1,0 +1,168 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/internal/advice"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// asymmetricTree builds a feasible tree: a spider with legs of distinct
+// lengths.
+func asymmetricTree(legs ...int) *graph.Graph {
+	n := 1
+	for _, l := range legs {
+		n += l
+	}
+	b := graph.NewBuilder(n)
+	next := 1
+	for i, l := range legs {
+		prev := 0
+		prevPort := i
+		for j := 0; j < l; j++ {
+			nodePort := 0
+			if j < l-1 {
+				nodePort = 1 // interior leg nodes: port 1 back, 0 forward
+			}
+			_ = nodePort
+			// At the new node: port 0 points back if it is a leaf,
+			// otherwise port 1 points back and port 0 forward.
+			back := 0
+			if j < l-1 {
+				back = 1
+			}
+			b.AddEdge(prev, prevPort, next, back)
+			prev, prevPort = next, 0
+			next++
+		}
+	}
+	return b.MustFinalize()
+}
+
+func TestTreeElectOnFeasibleTrees(t *testing.T) {
+	trees := map[string]*graph.Graph{
+		"spider-123": asymmetricTree(1, 2, 3),
+		"spider-24":  asymmetricTree(2, 4),
+		"path4":      graph.Path(4),
+		"path5":      graph.Path(5),
+		"star3":      graph.Star(3),
+	}
+	for name, g := range trees {
+		tab := view.NewTable()
+		if !view.Feasible(tab, g) {
+			t.Fatalf("%s should be feasible", name)
+		}
+		f := NewTreeElectFactory(tab)
+		res, err := sim.RunSequential(tab, g, f, 4*g.N())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := sim.Verify(g, res.Outputs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Advice-free election in time at most D (each node stops at its
+		// eccentricity).
+		if res.Time > g.Diameter() {
+			t.Errorf("%s: time %d > D = %d", name, res.Time, g.Diameter())
+		}
+	}
+}
+
+func TestTreeElectStopsAtEccentricity(t *testing.T) {
+	g := graph.Path(6) // eccentricities 5,4,3,3,4,5
+	tab := view.NewTable()
+	res, err := sim.RunSequential(tab, g, NewTreeElectFactory(tab), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 4, 3, 3, 4, 5}
+	for v, r := range res.Rounds {
+		if r != want[v] {
+			t.Errorf("node %d stopped at %d, want ecc %d", v, r, want[v])
+		}
+	}
+}
+
+// On symmetric trees election is impossible; TreeElect reconstructs,
+// detects infeasibility and self-elects, which the verifier rejects.
+func TestTreeElectSymmetricTreeFails(t *testing.T) {
+	g := graph.Path(2)
+	tab := view.NewTable()
+	res, err := sim.RunSequential(tab, g, NewTreeElectFactory(tab), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Verify(g, res.Outputs); err == nil {
+		t.Error("symmetric tree election should fail verification")
+	}
+}
+
+// On a graph with a cycle, reconstruction never completes: the round
+// budget converts that into an engine error — the "trees are special"
+// contrast the paper draws.
+func TestTreeElectNeverFinishesOnCycles(t *testing.T) {
+	g := graph.Lollipop(4, 2)
+	tab := view.NewTable()
+	if _, err := sim.RunSequential(tab, g, NewTreeElectFactory(tab), 25); err == nil {
+		t.Error("TreeElect should not terminate on non-trees")
+	}
+}
+
+func TestNaiveElectEndToEnd(t *testing.T) {
+	for name, g := range testGraphs() {
+		tab := view.NewTable()
+		o := advice.NewOracle(tab)
+		na, err := o.ComputeNaiveAdvice(g, 1<<22)
+		if err != nil {
+			t.Logf("%s: naive advice too large (%v) — expected for deep phi", name, err)
+			continue
+		}
+		f, err := NewNaiveElectFactory(tab, na.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := sim.RunSequential(tab, g, f, sim.DefaultMaxRounds(g))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Time != na.Phi {
+			t.Errorf("%s: time %d, want %d", name, res.Time, na.Phi)
+		}
+		if _, err := sim.Verify(g, res.Outputs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Both oracles must elect the same leader (both use the canonical order
+// to pick the rank/label-1 node).
+func TestNaiveAndTrieElectSameLeader(t *testing.T) {
+	g := graph.Lollipop(5, 3)
+	tab := view.NewTable()
+	o := advice.NewOracle(tab)
+	a, err := o.ComputeAdvice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := o.ComputeNaiveAdvice(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := NewElectFactory(tab, a.Encode())
+	f2, _ := NewNaiveElectFactory(tab, na.Encode())
+	r1, err := sim.RunSequential(tab, g, f1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.RunSequential(tab, g, f2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := sim.Verify(g, r1.Outputs)
+	l2, _ := sim.Verify(g, r2.Outputs)
+	if l1 != l2 {
+		t.Errorf("trie oracle elected %d, naive oracle %d", l1, l2)
+	}
+}

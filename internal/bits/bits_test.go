@@ -1,0 +1,310 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndString(t *testing.T) {
+	cases := []string{"", "0", "1", "01", "10", "0011010000", "101010101010101"}
+	for _, c := range cases {
+		if got := New(c).String(); got != c {
+			t.Errorf("New(%q).String() = %q", c, got)
+		}
+		if got := New(c).Len(); got != len(c) {
+			t.Errorf("New(%q).Len() = %d, want %d", c, got, len(c))
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid character")
+		}
+	}()
+	New("01x")
+}
+
+func TestBit(t *testing.T) {
+	s := New("10110")
+	want := []bool{true, false, true, true, false}
+	for i, w := range want {
+		if s.Bit(i) != w {
+			t.Errorf("Bit(%d) = %v, want %v", i, s.Bit(i), w)
+		}
+	}
+}
+
+func TestBit1(t *testing.T) {
+	s := New("10110")
+	if !s.Bit1(1) {
+		t.Error("Bit1(1) should be true (first bit)")
+	}
+	if s.Bit1(2) {
+		t.Error("Bit1(2) should be false")
+	}
+	if s.Bit1(6) {
+		t.Error("Bit1 out of range should be false")
+	}
+	if s.Bit1(0) {
+		t.Error("Bit1(0) should be false")
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("01").Bit(2)
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(New("0101"), New("0101")) {
+		t.Error("equal strings reported unequal")
+	}
+	if Equal(New("0101"), New("0100")) {
+		t.Error("different strings reported equal")
+	}
+	if Equal(New("010"), New("0101")) {
+		t.Error("different lengths reported equal")
+	}
+	if !Equal(String{}, New("")) {
+		t.Error("empty strings should be equal")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "0", -1},
+		{"0", "", 1},
+		{"0", "1", -1},
+		{"1", "0", 1},
+		{"01", "010", -1},
+		{"011", "0110", -1},
+		{"10", "01", 1},
+		{"0101", "0101", 0},
+	}
+	for _, c := range cases {
+		if got := Compare(New(c.a), New(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randStr := func() String {
+		var w Writer
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			w.WriteBit(rng.Intn(2) == 1)
+		}
+		return w.String()
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randStr(), randStr(), randStr()
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated for %v, %v", a, b)
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated for %v, %v, %v", a, b, c)
+		}
+		if (Compare(a, b) == 0) != Equal(a, b) {
+			t.Fatalf("Compare==0 disagrees with Equal for %v, %v", a, b)
+		}
+	}
+}
+
+func TestWriterString(t *testing.T) {
+	var w Writer
+	w.WriteString(New("101"))
+	w.WriteString(New("01"))
+	if got := w.String().String(); got != "10101" {
+		t.Errorf("writer produced %q", got)
+	}
+	// The snapshot must be independent of further writes.
+	snap := w.String()
+	w.WriteBit(true)
+	if snap.Len() != 5 {
+		t.Error("snapshot mutated by later write")
+	}
+}
+
+func TestBin(t *testing.T) {
+	cases := []struct {
+		x    int
+		want string
+	}{
+		{0, "0"}, {1, "1"}, {2, "10"}, {3, "11"}, {4, "100"},
+		{10, "1010"}, {255, "11111111"}, {256, "100000000"},
+	}
+	for _, c := range cases {
+		if got := Bin(c.x).String(); got != c.want {
+			t.Errorf("Bin(%d) = %q, want %q", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBinPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bin(-1)
+}
+
+func TestParseBinRoundTrip(t *testing.T) {
+	f := func(x uint16) bool {
+		got, err := ParseBin(Bin(int(x)))
+		return err == nil && got == int(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBinErrors(t *testing.T) {
+	if _, err := ParseBin(String{}); err == nil {
+		t.Error("expected error for empty string")
+	}
+	var w Writer
+	for i := 0; i < 63; i++ {
+		w.WriteBit(true)
+	}
+	if _, err := ParseBin(w.String()); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestConcatPaperExample(t *testing.T) {
+	// Concat((01), (00)) = (0011010000) — the example from Section 3.
+	got := Concat(New("01"), New("00"))
+	if got.String() != "0011010000" {
+		t.Errorf("Concat paper example = %q, want 0011010000", got)
+	}
+}
+
+func TestConcatDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(6)
+		parts := make([]String, k)
+		for i := range parts {
+			var w Writer
+			n := rng.Intn(10)
+			for j := 0; j < n; j++ {
+				w.WriteBit(rng.Intn(2) == 1)
+			}
+			parts[i] = w.String()
+		}
+		enc := Concat(parts...)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode error: %v", err)
+		}
+		if len(dec) != k {
+			t.Fatalf("Decode returned %d parts, want %d", len(dec), k)
+		}
+		for i := range parts {
+			if !Equal(dec[i], parts[i]) {
+				t.Fatalf("part %d mismatch: got %v want %v", i, dec[i], parts[i])
+			}
+		}
+	}
+}
+
+func TestConcatSizeOverhead(t *testing.T) {
+	// The doubling code at most doubles the payload and adds 2 bits per
+	// separator — the constant-factor claim used by Proposition 3.1 etc.
+	parts := []String{New("10101"), New("111"), New("")}
+	enc := Concat(parts...)
+	payload := 0
+	for _, p := range parts {
+		payload += p.Len()
+	}
+	want := 2*payload + 2*(len(parts)-1)
+	if enc.Len() != want {
+		t.Errorf("encoded length %d, want %d", enc.Len(), want)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(New("001")); err == nil {
+		t.Error("expected error for odd-length tail")
+	}
+	if _, err := Decode(New("10")); err == nil {
+		t.Error("expected error for pair 10")
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	dec, err := Decode(String{})
+	if err != nil || len(dec) != 1 || dec[0].Len() != 0 {
+		t.Errorf("Decode(empty) = %v, %v; want single empty part", dec, err)
+	}
+}
+
+func TestConcatIntsRoundTrip(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []int{int(a), int(b), int(c)}
+		got, err := DecodeInts(ConcatInts(xs...))
+		if err != nil || len(got) != 3 {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReader(t *testing.T) {
+	r := NewReader(New("101"))
+	for i, want := range []bool{true, false, true} {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d: got %v, %v", i, got, err)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Error("remaining should be 0")
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Error("expected error past end")
+	}
+}
+
+// Fuzz-ish robustness: Decode and DecodeInts must never panic on
+// arbitrary bit strings — they either round-trip or return an error.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		var w Writer
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			w.WriteBit(rng.Intn(2) == 1)
+		}
+		s := w.String()
+		if parts, err := Decode(s); err == nil {
+			// Valid decodes must re-encode to the original string.
+			if !Equal(Concat(parts...), s) {
+				t.Fatalf("Decode/Concat not inverse on %v", s)
+			}
+		}
+		_, _ = DecodeInts(s)
+	}
+}

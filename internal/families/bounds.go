@@ -1,0 +1,159 @@
+package families
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the parameter functions of Theorem 4.2's proof.
+// Each part of the theorem instantiates three functions:
+//
+//	A(x, c) — the time offset above the diameter the algorithm is allowed,
+//	B(x, c) — the election-index budget of level T_x of the construction,
+//	R(x)    — the resulting number of distinguishable advice values,
+//
+// and the lower bound for election index at most α is Ω(log R(α)),
+// realized by k* = max{k : B(k, c) <= α} levels of the merge hierarchy.
+
+// Part identifies one of the four time milestones of Theorems 4.1/4.2.
+type Part int
+
+const (
+	// PartAdditive is time D + φ + c.
+	PartAdditive Part = 1 + iota
+	// PartLinear is time D + cφ.
+	PartLinear
+	// PartPolynomial is time D + φ^c.
+	PartPolynomial
+	// PartExponential is time D + c^φ.
+	PartExponential
+)
+
+// A returns the allowed time offset A(x, c) of the given part.
+func (p Part) A(x, c int) int {
+	switch p {
+	case PartAdditive:
+		return x + c
+	case PartLinear:
+		return c * x
+	case PartPolynomial:
+		return intPow(x, c)
+	case PartExponential:
+		return intPow(c, x)
+	default:
+		panic(fmt.Sprintf("families: invalid part %d", p))
+	}
+}
+
+// B returns the election-index budget B(x, c) of level x of the
+// construction for the given part, per the proof of Theorem 4.2:
+// part 1: cx + 2x + 1; part 2: (c+2)^x; part 3: 2^(c^(3x) - c);
+// part 4: the tower of height x·c... the paper uses B(x,c) = 2↑↑(xc)
+// written as "2 x c"; we implement the stated forms with saturation.
+func (p Part) B(x, c int) int {
+	const cap = 1 << 40
+	switch p {
+	case PartAdditive:
+		return c*x + 2*x + 1
+	case PartLinear:
+		return satPow(c+2, x, cap)
+	case PartPolynomial:
+		e := satPow(c, 3*x, 40) // exponent c^(3x), saturated small
+		if e >= 40 {
+			return cap
+		}
+		v := intPow(2, e)
+		if c >= v {
+			return 1
+		}
+		return v - c
+	case PartExponential:
+		return satTower(2, x*c, cap)
+	default:
+		panic(fmt.Sprintf("families: invalid part %d", p))
+	}
+}
+
+// R returns the advice-count function R(α): the number of distinct
+// advice values the adversary forces for election index up to α; the
+// lower bound on advice size is log2(R(α)).
+func (p Part) R(alpha int) float64 {
+	a := float64(alpha)
+	switch p {
+	case PartAdditive:
+		return a
+	case PartLinear:
+		return math.Log2(a)
+	case PartPolynomial:
+		return math.Log2(math.Max(2, math.Log2(a)))
+	case PartExponential:
+		return float64(logStarInt(alpha))
+	default:
+		panic(fmt.Sprintf("families: invalid part %d", p))
+	}
+}
+
+// KStar returns k* = max{k >= 0 : B(k, c) <= alpha}, the number of
+// construction levels (hence forced advice values) available below the
+// election-index budget α.
+func (p Part) KStar(alpha, c int) int {
+	k := 0
+	for p.B(k+1, c) <= alpha {
+		k++
+		if k > 64 {
+			break
+		}
+	}
+	return k
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func satPow(b, e, cap int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		if r > cap/b {
+			return cap
+		}
+		r *= b
+	}
+	return r
+}
+
+func satTower(c, i, cap int) int {
+	v := 1
+	for k := 0; k < i; k++ {
+		v = satPow(c, v, cap)
+		if v >= cap {
+			return cap
+		}
+	}
+	return v
+}
+
+func logStarInt(x int) int {
+	count := 0
+	v := float64(x)
+	for v > 1 {
+		v = math.Log2(v)
+		count++
+	}
+	return count
+}
+
+// LowerBoundAdviceBits returns the forced advice size log2(R(α)) for the
+// part — the quantity Theorem 4.2 proves matches Theorem 4.1's upper
+// bounds up to multiplicative constants.
+func (p Part) LowerBoundAdviceBits(alpha int) float64 {
+	r := p.R(alpha)
+	if r < 2 {
+		return 0
+	}
+	return math.Log2(r)
+}

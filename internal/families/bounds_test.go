@@ -1,0 +1,124 @@
+package families
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartA(t *testing.T) {
+	c := 2
+	if PartAdditive.A(5, c) != 7 {
+		t.Error("additive offset")
+	}
+	if PartLinear.A(5, c) != 10 {
+		t.Error("linear offset")
+	}
+	if PartPolynomial.A(5, c) != 25 {
+		t.Error("polynomial offset")
+	}
+	if PartExponential.A(5, c) != 32 {
+		t.Error("exponential offset")
+	}
+}
+
+func TestPartBMonotone(t *testing.T) {
+	const cap = 1 << 40
+	for _, p := range []Part{PartAdditive, PartLinear, PartPolynomial, PartExponential} {
+		prev := 0
+		for x := 1; x <= 5; x++ {
+			b := p.B(x, 2)
+			if b >= cap {
+				break // saturated: the real value keeps growing
+			}
+			if b <= prev {
+				t.Errorf("part %d: B(%d) = %d not increasing", p, x, b)
+			}
+			prev = b
+		}
+	}
+}
+
+// The defining relation of the proof: the time allowance at the previous
+// level fits under the index budget of the next level, A(B(k,c),c) <
+// B(k+1,c) in the regimes used — here spot-checked for part 1, where
+// A(B(k,c),c) = B(k,c)+c and B(k+1,c) = B(k,c)+c+2.
+func TestPart1Chain(t *testing.T) {
+	c := 2
+	for k := 1; k <= 6; k++ {
+		if PartAdditive.A(PartAdditive.B(k, c), c) >= PartAdditive.B(k+1, c) {
+			t.Errorf("k=%d: A(B(k)) = %d not below B(k+1) = %d",
+				k, PartAdditive.A(PartAdditive.B(k, c), c), PartAdditive.B(k+1, c))
+		}
+	}
+}
+
+func TestKStar(t *testing.T) {
+	c := 2
+	// Part 1: B(k,2) = 4k+1, so KStar(alpha) = floor((alpha-1)/4).
+	for _, alpha := range []int{5, 9, 17, 100} {
+		want := (alpha - 1) / 4
+		if got := PartAdditive.KStar(alpha, c); got != want {
+			t.Errorf("alpha=%d: k* = %d, want %d", alpha, got, want)
+		}
+	}
+	// Part 2: B(k,2) = 4^k, so KStar is logarithmic.
+	if got := PartLinear.KStar(64, c); got != 3 {
+		t.Errorf("part 2 k*(64) = %d, want 3", got)
+	}
+	// k* grows much slower for the higher parts. (Parts 3 and 4 only
+	// order pointwise at enormous alpha; compare each against part 1.)
+	alpha := 1 << 20
+	k1 := PartAdditive.KStar(alpha, c)
+	k2 := PartLinear.KStar(alpha, c)
+	k3 := PartPolynomial.KStar(alpha, c)
+	k4 := PartExponential.KStar(alpha, c)
+	if !(k1 > k2 && k2 > k3 && k1 > k4) {
+		t.Errorf("k* not collapsing: %d %d %d %d", k1, k2, k3, k4)
+	}
+}
+
+// The four lower bounds are the exponentially collapsing staircase of
+// the paper's abstract: log α, log log α, log log log α, log(log* α).
+func TestLowerBoundStaircase(t *testing.T) {
+	alpha := 1 << 16
+	b1 := PartAdditive.LowerBoundAdviceBits(alpha)
+	b2 := PartLinear.LowerBoundAdviceBits(alpha)
+	b3 := PartPolynomial.LowerBoundAdviceBits(alpha)
+	b4 := PartExponential.LowerBoundAdviceBits(alpha)
+	// The last two steps (log log log α vs log log* α) only separate at
+	// astronomically large α (between tower values they coincide), so we
+	// assert non-strict order there — the asymptotic claim, not a
+	// pointwise one.
+	if !(b1 > b2 && b2 > b3 && b3 >= b4) {
+		t.Errorf("staircase broken: %.2f %.2f %.2f %.2f", b1, b2, b3, b4)
+	}
+	if math.Abs(b1-16) > 0.01 {
+		t.Errorf("log2(alpha) = %f", b1)
+	}
+	if math.Abs(b2-4) > 0.01 {
+		t.Errorf("log2 log2(alpha) = %f", b2)
+	}
+	if math.Abs(b3-2) > 0.01 {
+		t.Errorf("log2 log2 log2(alpha) = %f", b3)
+	}
+	if math.Abs(b4-2) > 0.01 { // log*(65536) = 4, log2(4) = 2
+		t.Errorf("log2 log*(alpha) = %f", b4)
+	}
+}
+
+func TestPartPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Part(0).A(1, 2) },
+		func() { Part(9).B(1, 2) },
+		func() { Part(9).R(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

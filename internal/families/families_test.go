@@ -1,0 +1,690 @@
+package families
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// ---------- F(x) ----------
+
+func TestFXSequenceEnumeration(t *testing.T) {
+	if FXCount(3) != 8 {
+		t.Fatalf("FXCount(3) = %d", FXCount(3))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		s := FXSequence(3, i)
+		if len(s) != 3 {
+			t.Fatal("wrong length")
+		}
+		for _, h := range s {
+			if h < 1 || h > 2 {
+				t.Fatalf("entry %d out of {1,2}", h)
+			}
+		}
+		key := string(rune(s[0])) + string(rune(s[1])) + string(rune(s[2]))
+		if seen[key] {
+			t.Fatal("duplicate sequence")
+		}
+		seen[key] = true
+	}
+}
+
+func TestFXSequencePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FXSequence(3, -1) },
+		func() { FXSequence(3, 8) },
+		func() { FXCount(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFXGraphStructure(t *testing.T) {
+	x := 3
+	g := FXGraph(x, 0)
+	if g.N() != x+1 || g.M() != (x+1)*x/2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	// Port i at r (= node 0) leads to v_i (= node i+1).
+	for i := 0; i < x; i++ {
+		if g.Neighbor(0, i) != i+1 {
+			t.Errorf("port %d at r leads to %d", i, g.Neighbor(0, i))
+		}
+	}
+}
+
+func TestFXCliquesPairwiseDistinct(t *testing.T) {
+	x := 3
+	for s := 0; s < FXCount(x); s++ {
+		for u := s + 1; u < FXCount(x); u++ {
+			if graph.Isomorphic(FXGraph(x, s), FXGraph(x, u)) {
+				t.Fatalf("C_%d and C_%d are port-isomorphic", s, u)
+			}
+		}
+	}
+}
+
+// ---------- H_k / G_k (Theorem 3.2, Figure 1) ----------
+
+func TestHkStructure(t *testing.T) {
+	k, x := 5, 3
+	hk := BuildHk(k, x)
+	g := hk.G
+	if g.N() != k*(x+1) {
+		t.Fatalf("N = %d", g.N())
+	}
+	for _, w := range hk.Ring {
+		if g.Deg(w) != x+2 {
+			t.Errorf("ring node degree %d, want %d", g.Deg(w), x+2)
+		}
+		// Ring ports x clockwise: walking port x k times closes the ring.
+	}
+	v := hk.Ring[0]
+	for i := 0; i < k; i++ {
+		v = g.Neighbor(v, x)
+	}
+	if v != hk.Ring[0] {
+		t.Error("ring not closed through port x")
+	}
+}
+
+// Claim 3.8: every member of G_k has election index exactly 1.
+func TestGkElectionIndexOne(t *testing.T) {
+	k, x := 5, 3
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{0, 2, 1, 4, 3},
+		{0, 4, 3, 2, 1},
+	}
+	tab := view.NewTable()
+	for _, perm := range perms {
+		m := BuildGkMember(k, x, perm)
+		phi, ok := view.ElectionIndex(tab, m.G)
+		if !ok {
+			t.Fatalf("perm %v: infeasible", perm)
+		}
+		if phi != 1 {
+			t.Errorf("perm %v: phi = %d, want 1", perm, phi)
+		}
+	}
+}
+
+// The Observation inside Claim 3.9: for any two members and any clique
+// C_t, the attachment nodes of C_t's copies have equal B^1 across the two
+// graphs — the coincidence that forces distinct advice.
+func TestGkAttachmentViewCoincidence(t *testing.T) {
+	k, x := 5, 3
+	tab := view.NewTable()
+	p1 := []int{0, 1, 2, 3, 4}
+	p2 := []int{0, 3, 4, 1, 2}
+	g1 := BuildGkMember(k, x, p1)
+	g2 := BuildGkMember(k, x, p2)
+	v1 := view.Levels(tab, g1.G, 1)[1]
+	v2 := view.Levels(tab, g2.G, 1)[1]
+	for t1 := 0; t1 < k; t1++ {
+		// position of clique t1 in each member
+		pos1, pos2 := -1, -1
+		for i := 0; i < k; i++ {
+			if p1[i] == t1 {
+				pos1 = i
+			}
+			if p2[i] == t1 {
+				pos2 = i
+			}
+		}
+		if v1[g1.Ring[pos1]] != v2[g2.Ring[pos2]] {
+			t.Errorf("clique %d: attachment B^1 differs across members", t1)
+		}
+	}
+}
+
+func TestGkEntropyBits(t *testing.T) {
+	// log2(4!) = log2(24) ≈ 4.585 for k = 5.
+	got := GkEntropyBits(5)
+	if got < 4.5 || got > 4.7 {
+		t.Errorf("GkEntropyBits(5) = %f", got)
+	}
+}
+
+func TestGkPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildHk(2, 3) },
+		func() { BuildHk(9, 3) }, // k > (x-1)^x = 8
+		func() { BuildGkMember(5, 3, []int{0, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// ---------- Necklaces (Theorem 3.3, Figure 2) ----------
+
+func TestNecklaceStructure(t *testing.T) {
+	k, x, phi := 4, 3, 3
+	nk := BuildNecklace(k, x, phi, NecklaceCode(k, x, 0))
+	g := nk.G
+	wantN := k + (k-1)*x + k*x + 2*(phi-1)
+	if g.N() != wantN {
+		t.Fatalf("N = %d, want %d", g.N(), wantN)
+	}
+	// Degrees: leaves 1; chain interior 2; end joints 2x+1; mid joints 3x.
+	if g.Deg(nk.LeftLeaf) != 1 || g.Deg(nk.RightLeaf) != 1 {
+		t.Error("leaf degrees wrong")
+	}
+	if g.Deg(nk.Joints[0]) != 2*x+1 || g.Deg(nk.Joints[k-1]) != 2*x+1 {
+		t.Error("end joint degrees wrong")
+	}
+	for _, w := range nk.Joints[1 : k-1] {
+		if g.Deg(w) != 3*x {
+			t.Errorf("mid joint degree %d, want %d", g.Deg(w), 3*x)
+		}
+	}
+	// Leaves are at distance phi-1+... the left leaf reaches joint w_1 in
+	// phi-1 hops.
+	if d := g.Dist(nk.LeftLeaf, nk.Joints[0]); d != phi-1 {
+		t.Errorf("left chain length %d, want %d", d, phi-1)
+	}
+}
+
+// Claim 3.10: every k-necklace has election index exactly phi.
+func TestNecklaceElectionIndex(t *testing.T) {
+	tab := view.NewTable()
+	for _, phi := range []int{2, 3, 4} {
+		for _, codeIdx := range []int{0, 1, 3} {
+			k, x := 4, 3
+			nk := BuildNecklace(k, x, phi, NecklaceCode(k, x, codeIdx))
+			got, ok := view.ElectionIndex(tab, nk.G)
+			if !ok {
+				t.Fatalf("phi=%d code=%d: infeasible", phi, codeIdx)
+			}
+			if got != phi {
+				t.Errorf("phi=%d code=%d: election index %d", phi, codeIdx, got)
+			}
+		}
+	}
+}
+
+// The Observation inside Claim 3.11: the depth-φ views of the left (resp.
+// right) leaves coincide across all codes.
+func TestNecklaceLeafViewCoincidence(t *testing.T) {
+	tab := view.NewTable()
+	k, x, phi := 4, 3, 2
+	var leftViews, rightViews []*view.View
+	for _, codeIdx := range []int{0, 1, 2, 3} {
+		nk := BuildNecklace(k, x, phi, NecklaceCode(k, x, codeIdx))
+		lv := view.Levels(tab, nk.G, phi)[phi]
+		leftViews = append(leftViews, lv[nk.LeftLeaf])
+		rightViews = append(rightViews, lv[nk.RightLeaf])
+	}
+	for i := 1; i < len(leftViews); i++ {
+		if leftViews[i] != leftViews[0] {
+			t.Error("left-leaf views differ across codes")
+		}
+		if rightViews[i] != rightViews[0] {
+			t.Error("right-leaf views differ across codes")
+		}
+	}
+	// And the two leaves of one graph agree at depth phi-1 but not phi
+	// (the construction pins the election index from below).
+	nk := BuildNecklace(k, x, phi, NecklaceCode(k, x, 0))
+	lvm1 := view.Levels(tab, nk.G, phi-1)[phi-1]
+	lv := view.Levels(tab, nk.G, phi)[phi]
+	if lvm1[nk.LeftLeaf] != lvm1[nk.RightLeaf] {
+		t.Error("leaves should be indistinguishable at depth phi-1")
+	}
+	if lv[nk.LeftLeaf] == lv[nk.RightLeaf] {
+		t.Error("leaves should be distinguishable at depth phi")
+	}
+}
+
+func TestNecklaceCodes(t *testing.T) {
+	if NecklaceCodeCount(4, 3) != 4 {
+		t.Fatalf("code count = %d", NecklaceCodeCount(4, 3))
+	}
+	if NecklaceCodeCount(6, 3) != 64 {
+		t.Fatalf("code count k=6 = %d", NecklaceCodeCount(6, 3))
+	}
+	c := NecklaceCode(4, 3, 3)
+	if c[0] != 0 || c[2] != 0 || c[3] != 0 {
+		t.Error("pinned entries must be 0")
+	}
+	if c[1] != 3 {
+		t.Errorf("free entry = %d", c[1])
+	}
+	if NecklaceEntropyBits(4, 3) != 2 {
+		t.Errorf("entropy = %f", NecklaceEntropyBits(4, 3))
+	}
+}
+
+func TestNecklacePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildNecklace(3, 3, 2, []int{0, 0, 0}) },    // odd k
+		func() { BuildNecklace(4, 1, 2, []int{0, 0, 0, 0}) }, // x < 2
+		func() { BuildNecklace(4, 3, 1, []int{0, 0, 0, 0}) }, // phi < 2
+		func() { BuildNecklace(4, 3, 2, []int{1, 0, 0, 0}) }, // bad code
+		func() { NecklaceCode(4, 3, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// ---------- z-locks and S0 (Theorem 4.2, Figures 3 and 5) ----------
+
+func TestZLockStructure(t *testing.T) {
+	g, l := ZLockGraph(5)
+	if g.N() != 7 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Deg(l.Central) != 6 {
+		t.Errorf("central degree %d, want z+1", g.Deg(l.Central))
+	}
+	if g.Neighbor(l.Central, 0) != l.Principal {
+		t.Error("principal must be behind port 0")
+	}
+	// The central node is the unique node of degree z+1.
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) == 6 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d nodes of degree z+1", count)
+	}
+}
+
+// Claim 4.1: election index of S0 members is 1.
+func TestS0ElectionIndexOne(t *testing.T) {
+	tab := view.NewTable()
+	for i := 0; i <= 1; i++ {
+		m := BuildS0Member(1, 2, i)
+		phi, ok := view.ElectionIndex(tab, m.G)
+		if !ok {
+			t.Fatalf("member %d infeasible", i)
+		}
+		if phi != 1 {
+			t.Errorf("member %d: phi = %d, want 1", i, phi)
+		}
+	}
+}
+
+// Property 10: the distance between the principal nodes equals the
+// diameter (checked directly).
+func TestS0PrincipalDistanceIsDiameter(t *testing.T) {
+	m := BuildS0Member(1, 2, 0)
+	d := m.G.Diameter()
+	if got := m.G.Dist(m.LeftPrincipal, m.RightPrincipal); got != d {
+		t.Errorf("principal distance %d, diameter %d", got, d)
+	}
+}
+
+// Property 2: all members use pairwise distinct lock sizes.
+func TestS0LockSizesIncrease(t *testing.T) {
+	prev := -1
+	for i := 0; i <= 2; i++ {
+		m := BuildS0Member(1, 2, i)
+		if m.Left.Z <= prev {
+			t.Errorf("member %d left lock %d not above previous right %d", i, m.Left.Z, prev)
+		}
+		if m.Right.Z <= m.Left.Z {
+			t.Errorf("member %d right lock not larger", i)
+		}
+		prev = m.Right.Z
+	}
+}
+
+// ---------- pruned views and Claim 4.2 ----------
+
+func TestPrunedViewShape(t *testing.T) {
+	g, l := ZLockGraph(5)
+	pv := BuildPrunedView(g, l.Central, cliquePortSet(g, l.Central), 3)
+	// Claim 4.3: all leaves exactly at depth 3 (all degrees >= 2).
+	for _, d := range pv.Depths() {
+		if d != 3 {
+			t.Errorf("leaf at depth %d", d)
+		}
+	}
+	if pv.Count() < 4 {
+		t.Error("pruned view too small")
+	}
+	// Root children are exactly the cycle ports 0 and 1.
+	if len(pv.Children) != 2 || pv.Children[0].PortHere != 0 || pv.Children[1].PortHere != 1 {
+		t.Error("root children wrong")
+	}
+}
+
+// Claim 4.2: substituting the pruned view for the component containing u
+// preserves B^{l-1}(u), and B^{d+l-1}(v) for kept-side nodes at distance d.
+func TestClaim42Substitution(t *testing.T) {
+	g, l := ZLockGraph(6)
+	for _, ell := range []int{1, 2, 3, 4} {
+		ports := []int{}
+		for p := 2; p < g.Deg(l.Central); p++ {
+			ports = append(ports, p)
+		}
+		g2, u2, err := SubstitutePrunedView(g, l.Central, ports, ell)
+		if err != nil {
+			t.Fatalf("ell=%d: %v", ell, err)
+		}
+		tab := view.NewTable()
+		if ell >= 1 {
+			a := view.Of(tab, g, l.Central, ell-1)
+			b := view.Of(tab, g2, u2, ell-1)
+			if a != b {
+				t.Errorf("ell=%d: B^%d(u) changed by substitution", ell, ell-1)
+			}
+		}
+		// Kept-side check: a clique node v (distance 1 from u) keeps
+		// B^{1+l-1}(v).
+		v := l.Clique[0]
+		// v's id in g2: kept nodes keep relative order; rebuild mapping
+		// by following the edge from u through the same port.
+		pv := g.PortTo(l.Central, v)
+		v2 := g2.Neighbor(u2, pv)
+		a := view.Of(tab, g, v, ell)
+		b := view.Of(tab, g2, v2, ell)
+		if a != b {
+			t.Errorf("ell=%d: B^%d(v) changed for kept-side node", ell, ell)
+		}
+	}
+}
+
+func TestSubstituteRejectsNonArticulation(t *testing.T) {
+	g := graph.Ring(5)
+	if _, _, err := SubstitutePrunedView(g, 0, []int{0}, 2); err == nil {
+		t.Error("expected leak error on a ring")
+	}
+	if _, _, err := SubstitutePrunedView(g, 0, []int{7}, 2); err == nil {
+		t.Error("expected invalid-port error")
+	}
+}
+
+// ---------- merge (Theorem 4.2, Figures 6-8) ----------
+
+func TestMergeProducesValidLockedGraph(t *testing.T) {
+	h1 := BuildS0Member(1, 2, 0).Locked()
+	h2 := BuildS0Member(1, 2, 1).Locked()
+	x := h1.G.MaxDegree()
+	if d := h2.G.MaxDegree(); d > x {
+		x = d
+	}
+	q := Merge(h1, h2, MergeParams{Ell: 2, X: x, ChainLen: 4})
+	if !q.G.Connected() {
+		t.Fatal("merge not connected")
+	}
+	// The merged graph keeps h1's left lock and h2's right lock.
+	if q.G.Deg(q.Left.Central) != h1.Left.Z+2 {
+		t.Errorf("left lock central degree %d", q.G.Deg(q.Left.Central))
+	}
+	if q.G.Deg(q.Right.Central) != h2.Right.Z+2 {
+		t.Errorf("right lock central degree %d", q.G.Deg(q.Right.Central))
+	}
+	if q.G.Neighbor(q.Left.Central, 0) != q.LeftPrincipal {
+		t.Error("left principal broken")
+	}
+	// Q is larger than both inputs.
+	if q.G.N() <= h1.G.N()+h2.G.N() {
+		t.Error("merge should add the transformation and chain nodes")
+	}
+}
+
+// Instance of property 9: the left principal node of the merged graph has
+// the same view as the left principal node of h1 up to depth
+// dist(principal, u2) + ell - 2, where u2 is the replaced lock's central
+// node — the coincidence that fools time-bounded algorithms.
+func TestMergePrincipalViewCoincidence(t *testing.T) {
+	h1 := BuildS0Member(1, 2, 0).Locked()
+	h2 := BuildS0Member(1, 2, 1).Locked()
+	x := h2.G.MaxDegree()
+	if d := h1.G.MaxDegree(); d > x {
+		x = d
+	}
+	ell := 3
+	q := Merge(h1, h2, MergeParams{Ell: ell, X: x, ChainLen: 4})
+	tab := view.NewTable()
+	dist := h1.G.Dist(h1.LeftPrincipal, h1.Right.Central)
+	depth := dist + ell - 2
+	a := view.Of(tab, h1.G, h1.LeftPrincipal, depth)
+	b := view.Of(tab, q.G, q.LeftPrincipal, depth)
+	if a != b {
+		t.Errorf("left principal views differ at depth %d", depth)
+	}
+	// Symmetric check for the right side.
+	dist2 := h2.G.Dist(h2.RightPrincipal, h2.Left.Central)
+	depth2 := dist2 + ell - 2
+	c := view.Of(tab, h2.G, h2.RightPrincipal, depth2)
+	d := view.Of(tab, q.G, q.RightPrincipal, depth2)
+	if c != d {
+		t.Errorf("right principal views differ at depth %d", depth2)
+	}
+	// Sanity: the coincidence is not vacuous — at a sufficiently larger
+	// depth the views DO differ (Q is a different, much bigger graph).
+	deep := depth + 2*ell + 4
+	if view.Of(tab, h1.G, h1.LeftPrincipal, deep) == view.Of(tab, q.G, q.LeftPrincipal, deep) {
+		t.Error("views never diverge; construction degenerate")
+	}
+}
+
+// The merged graph remains feasible with a small election index — the
+// scaled analogue of Claim 4.5.
+func TestMergeFeasibleSmallIndex(t *testing.T) {
+	h1 := BuildS0Member(1, 2, 0).Locked()
+	h2 := BuildS0Member(1, 2, 1).Locked()
+	x := h2.G.MaxDegree()
+	ell := 2
+	q := Merge(h1, h2, MergeParams{Ell: ell, X: x, ChainLen: 4})
+	tab := view.NewTable()
+	phi, ok := view.ElectionIndex(tab, q.G)
+	if !ok {
+		t.Fatal("merged graph infeasible")
+	}
+	if phi > ell+2 {
+		t.Errorf("phi = %d exceeds scaled bound %d", phi, ell+2)
+	}
+}
+
+func TestMergePanics(t *testing.T) {
+	h1 := BuildS0Member(1, 2, 0).Locked()
+	for _, f := range []func(){
+		func() { Merge(h1, h1, MergeParams{Ell: 0, X: 100, ChainLen: 4}) },
+		func() { Merge(h1, h1, MergeParams{Ell: 2, X: 1, ChainLen: 4}) },
+		func() { Merge(h1, h1, MergeParams{Ell: 2, X: 100, ChainLen: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPaperMergeParams(t *testing.T) {
+	h1 := BuildS0Member(1, 2, 0).Locked()
+	h2 := BuildS0Member(1, 2, 1).Locked()
+	p := PaperMergeParams(h1, h2, 5)
+	if p.Ell != 5 {
+		t.Error("Ell wrong")
+	}
+	if p.X < h1.G.MaxDegree() || p.X < h2.G.MaxDegree() {
+		t.Error("X too small")
+	}
+	if p.ChainLen != 2*max(h1.G.N(), h2.G.N()) {
+		t.Error("ChainLen wrong")
+	}
+}
+
+// ---------- hairy rings (Proposition 4.1, Figure 9) ----------
+
+func TestHairyRingStructure(t *testing.T) {
+	h := BuildHairyRing([]int{2, 0, 3, 1})
+	g := h.G
+	if g.N() != 4+6 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for i, k := range h.Sizes {
+		if g.Deg(h.Ring[i]) != k+2 {
+			t.Errorf("ring node %d degree %d, want %d", i, g.Deg(h.Ring[i]), k+2)
+		}
+	}
+	// Feasible: unique max degree.
+	tab := view.NewTable()
+	if !view.Feasible(tab, g) {
+		t.Error("hairy ring with unique max star must be feasible")
+	}
+}
+
+func TestHairyRingPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildHairyRing([]int{1, 2}) },
+		func() { BuildHairyRing([]int{2, 2, 1}) }, // max not unique
+		func() { BuildHairyRing([]int{2, -1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCutAndStretch(t *testing.T) {
+	h := BuildHairyRing([]int{2, 0, 3, 1})
+	c := h.CutAt(2)
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if c.Sizes[i] != want[i] {
+			t.Fatalf("cut sizes %v", c.Sizes)
+		}
+	}
+	st := c.Stretch(3)
+	if len(st) != 12 || st[4] != 3 {
+		t.Errorf("stretch wrong: %v", st)
+	}
+}
+
+// The fooling coincidence of Proposition 4.1: in the composed graph, the
+// views at depth T of the two foci equal the view at depth T of the cut
+// node in the original hairy ring, for T up to the protection radius.
+func TestComposedFoolsBoundedViews(t *testing.T) {
+	h1 := BuildHairyRing([]int{2, 0, 3, 1})
+	h2 := BuildHairyRing([]int{1, 4, 0, 2})
+	gamma := 6
+	cg := BuildComposed([]Cut{h1.CutAt(0), h2.CutAt(0)}, gamma, 7)
+	tab := view.NewTable()
+	if !view.Feasible(tab, cg.H.G) {
+		t.Fatal("composed graph must be feasible (unique max star)")
+	}
+	// Foci of stretch 0 at caterpillar distances n1*2 and n1*4 into the
+	// stretch (both well inside, far from either end).
+	n1 := len(h1.Sizes)
+	f1, f2 := cg.FocusNodes(0, n1, n1*4)
+	T := n1 // protection radius at these depths is at least n1 ring-steps
+	zj := h1.Ring[0]
+	vz := view.Of(tab, h1.G, zj, T)
+	va := view.Of(tab, cg.H.G, f1, T)
+	vb := view.Of(tab, cg.H.G, f2, T)
+	if va != vz || vb != vz {
+		t.Error("foci views at depth T must equal the cut node's view")
+	}
+	// The foci output identical bounded-time decisions but are far apart,
+	// so no bounded algorithm with H1's advice can elect correctly.
+	if cg.H.G.Dist(f1, f2) <= 2*T {
+		t.Error("foci too close; the fooling argument needs distance > 2T")
+	}
+}
+
+// Necklaces with a larger clique parameter x: the structure and the
+// election index hold beyond the minimal x = 3.
+func TestNecklaceLargerX(t *testing.T) {
+	tab := view.NewTable()
+	for _, x := range []int{4, 5} {
+		nk := BuildNecklace(4, x, 2, NecklaceCode(4, x, 1))
+		phi, ok := view.ElectionIndex(tab, nk.G)
+		if !ok || phi != 2 {
+			t.Errorf("x=%d: phi=%d ok=%v", x, phi, ok)
+		}
+	}
+}
+
+// H_k with a larger x, exercising more of F(x).
+func TestGkLargerX(t *testing.T) {
+	tab := view.NewTable()
+	m := BuildGkMember(7, 4, []int{0, 3, 1, 6, 2, 5, 4})
+	phi, ok := view.ElectionIndex(tab, m.G)
+	if !ok || phi != 1 {
+		t.Errorf("phi=%d ok=%v", phi, ok)
+	}
+}
+
+// The F(x) clique attachment views coincide across ALL pairs of members
+// and ALL cliques simultaneously (full Observation, not a sample).
+func TestGkObservationExhaustive(t *testing.T) {
+	k, x := 4, 3
+	tab := view.NewTable()
+	perms := [][]int{{0, 1, 2, 3}, {0, 2, 3, 1}, {0, 3, 1, 2}}
+	type ref struct{ v *view.View }
+	byClique := make(map[int]*view.View)
+	for _, p := range perms {
+		m := BuildGkMember(k, x, p)
+		lv := view.Levels(tab, m.G, 1)[1]
+		for pos, t1 := range p {
+			if prev, ok := byClique[t1]; ok {
+				if prev != lv[m.Ring[pos]] {
+					t.Fatalf("clique %d attachment view differs across members", t1)
+				}
+			} else {
+				byClique[t1] = lv[m.Ring[pos]]
+			}
+		}
+	}
+	_ = ref{}
+}
+
+// Figure 4: the A ∗ B glue operation.
+func TestGlue(t *testing.T) {
+	g1, l1 := ZLockGraph(4)
+	g2, _ := ZLockGraph(5)
+	g := Glue(g1, g2, l1.Principal, 0)
+	if g.N() != g1.N()+g2.N() || g.M() != g1.M()+g2.M()+1 {
+		t.Fatalf("glue size wrong: N=%d M=%d", g.N(), g.M())
+	}
+	// The new edge uses the next free port at each endpoint.
+	if g.Deg(l1.Principal) != g1.Deg(l1.Principal)+1 {
+		t.Error("left endpoint degree")
+	}
+	if g.Deg(g1.N()) != g2.Deg(0)+1 {
+		t.Error("right endpoint degree")
+	}
+	if !g.Connected() {
+		t.Error("glued graph must be connected")
+	}
+}

@@ -1,0 +1,139 @@
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HairyRing is a graph of the class H of Proposition 4.1 (Figure 9): a
+// ring with a star S_{k_i} attached at every ring node (the star's
+// central node identified with the ring node), such that the maximum
+// star size on the ring is unique — which makes the graph feasible.
+type HairyRing struct {
+	G     *graph.Graph
+	Sizes []int // Sizes[i] = k of the star at ring node i
+	Ring  []int // sim ids of the ring nodes, clockwise
+}
+
+// BuildHairyRing constructs the hairy ring for the given star sizes
+// (len >= 3). Per the paper, the underlying ring keeps ports 0
+// (clockwise) and 1 (counterclockwise) at every ring node, and the star
+// leaves fill the remaining ports 2..k+1 in canonical order; leaves use
+// port 0. The maximum star size must be unique.
+func BuildHairyRing(sizes []int) *HairyRing {
+	n := len(sizes)
+	if n < 3 {
+		panic("families: hairy ring needs >= 3 ring nodes")
+	}
+	maxSize, maxCount := -1, 0
+	for _, k := range sizes {
+		if k < 0 {
+			panic("families: negative star size")
+		}
+		if k > maxSize {
+			maxSize, maxCount = k, 1
+		} else if k == maxSize {
+			maxCount++
+		}
+	}
+	if maxCount != 1 {
+		panic("families: the maximum star size must be unique for feasibility")
+	}
+	total := n
+	for _, k := range sizes {
+		total += k
+	}
+	b := graph.NewBuilder(total)
+	ring := idsRange(0, n)
+	leafStart := n
+	for i, k := range sizes {
+		b.AddEdge(ring[i], 0, ring[(i+1)%n], 1)
+		for j := 0; j < k; j++ {
+			b.AddEdge(ring[i], 2+j, leafStart+j, 0)
+		}
+		leafStart += k
+	}
+	return &HairyRing{G: b.MustFinalize(), Sizes: append([]int(nil), sizes...), Ring: ring}
+}
+
+// Cut describes the cut of a hairy ring at a ring node w (Figure 9b): the
+// ring edge entering w counterclockwise is removed, turning the ring into
+// a caterpillar path from the first node (w) to the last node.
+type Cut struct {
+	Sizes []int // star sizes in path order, starting at the cut node
+}
+
+// CutAt returns the cut of h at ring position i.
+func (h *HairyRing) CutAt(i int) Cut {
+	n := len(h.Sizes)
+	sizes := make([]int, n)
+	for j := 0; j < n; j++ {
+		sizes[j] = h.Sizes[(i+j)%n]
+	}
+	return Cut{Sizes: sizes}
+}
+
+// Stretch builds the γ-stretch (Figure 9c) of the cut: γ disjoint copies
+// of the cut chained first-to-last (port 0 at the next copy's first node,
+// port 1 at the previous copy's last node — the same ports the ring edge
+// used), as a standalone open caterpillar. It returns the star sizes of
+// the stretched caterpillar in path order.
+func (c Cut) Stretch(gamma int) []int {
+	if gamma < 2 {
+		panic("families: stretch factor must be >= 2")
+	}
+	out := make([]int, 0, gamma*len(c.Sizes))
+	for i := 0; i < gamma; i++ {
+		out = append(out, c.Sizes...)
+	}
+	return out
+}
+
+// ComposedHairyRing is the adversarial graph G built in the proof of
+// Proposition 4.1 from the γ-stretches of c hairy rings H_1..H_c, closed
+// up by a γ-star whose central node joins the first and last nodes of
+// the whole chain. It is itself a hairy ring (its unique max star is the
+// closing γ-star), so it belongs to the class H.
+//
+// Foci[j] returns two sim ids in the copy of H_j's stretch located
+// nH_j·(N+T) and 3·nH_j·(N+T) caterpillar steps into that stretch — the
+// two nodes whose views at depth T coincide with the view of the cut
+// node z_j in H_j, fooling any algorithm whose advice matches H_j's.
+type ComposedHairyRing struct {
+	H         *HairyRing
+	Gamma     int
+	StretchOf [][2]int // [j] = (start, length) of stretch j in ring positions
+}
+
+// BuildComposed constructs the composed graph from the cuts of the given
+// hairy rings, each stretched by gamma, closed with a star of size
+// gammaStar (must exceed every other star size to keep feasibility).
+func BuildComposed(cuts []Cut, gamma, gammaStar int) *ComposedHairyRing {
+	var sizes []int
+	spans := make([][2]int, len(cuts))
+	pos := 1 // position 0 is the closing star's center
+	sizes = append(sizes, gammaStar)
+	for j, c := range cuts {
+		st := c.Stretch(gamma)
+		spans[j] = [2]int{pos, len(st)}
+		sizes = append(sizes, st...)
+		pos += len(st)
+	}
+	for _, k := range sizes[1:] {
+		if k >= gammaStar {
+			panic(fmt.Sprintf("families: closing star %d not strictly maximal (saw %d)", gammaStar, k))
+		}
+	}
+	return &ComposedHairyRing{H: BuildHairyRing(sizes), Gamma: gamma, StretchOf: spans}
+}
+
+// FocusNodes returns the ring positions of the two foci of stretch j at
+// caterpillar distances d1 and d2 from the start of the stretch.
+func (cg *ComposedHairyRing) FocusNodes(j, d1, d2 int) (int, int) {
+	span := cg.StretchOf[j]
+	if d1 >= span[1] || d2 >= span[1] {
+		panic("families: focus distance outside stretch")
+	}
+	return cg.H.Ring[span[0]+d1], cg.H.Ring[span[0]+d2]
+}

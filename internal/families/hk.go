@@ -1,0 +1,75 @@
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HK describes a graph of the family G_k of Theorem 3.2 (Figure 1): a
+// ring of k nodes w_1..w_k, each carrying a clique from F(x), where the
+// assignment of cliques to ring positions is a permutation fixing
+// position 1.
+type HK struct {
+	G    *graph.Graph
+	K    int
+	X    int
+	Ring []int // sim ids of w_1..w_k in clockwise order
+	Perm []int // Perm[i] = index t of the F(x) clique attached at w_{i+1}
+}
+
+// BuildHk returns the base graph H_k: clique C_{t} attached at ring node
+// w_{t+1} for t = 0..k-1 (the identity permutation).
+func BuildHk(k, x int) *HK { return BuildGkMember(k, x, identity(k)) }
+
+// BuildGkMember returns the member of G_k in which the clique attached at
+// ring position i+1 is C_{perm[i]}. The paper's family fixes perm[0] = 0
+// and permutes the rest; the builder accepts any permutation of 0..k-1.
+//
+// Ring nodes get ports x (clockwise) and x+1 (counterclockwise); each
+// clique is attached by identifying its node r with the ring node, so
+// ring nodes have degree x+2 and the remaining clique nodes degree x.
+func BuildGkMember(k, x int, perm []int) *HK {
+	if k < 3 {
+		panic(fmt.Sprintf("families: H_k requires k >= 3, got %d", k))
+	}
+	if k > FXCount(x) {
+		panic(fmt.Sprintf("families: k = %d exceeds |F(%d)| = %d", k, x, FXCount(x)))
+	}
+	if len(perm) != k {
+		panic("families: permutation length mismatch")
+	}
+	n := k * (x + 1) // k ring nodes + k·x clique-only nodes
+	b := graph.NewBuilder(n)
+	ring := make([]int, k)
+	for i := 0; i < k; i++ {
+		ring[i] = i
+	}
+	for i := 0; i < k; i++ {
+		b.AddEdge(ring[i], x, ring[(i+1)%k], x+1)
+	}
+	for i := 0; i < k; i++ {
+		ids := append([]int{ring[i]}, idsRange(k+i*x, x)...)
+		AddFXClique(b, x, perm[i], ids)
+	}
+	return &HK{G: b.MustFinalize(), K: k, X: x, Ring: ring, Perm: append([]int(nil), perm...)}
+}
+
+func identity(k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// GkEntropyBits returns log2((k-1)!), the information-theoretic number of
+// advice bits forced by Claim 3.9 (distinct graphs of G_k need distinct
+// advice), which drives the Ω(n log log n) bound of Theorem 3.2.
+func GkEntropyBits(k int) float64 {
+	bitsTotal := 0.0
+	for i := 2; i < k; i++ {
+		bitsTotal += log2(float64(i))
+	}
+	return bitsTotal
+}

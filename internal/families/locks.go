@@ -1,0 +1,141 @@
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Lock records where a z-lock sits inside a larger graph.
+type Lock struct {
+	Z         int
+	Central   int   // the unique node of degree z+1
+	Principal int   // the cycle neighbor of Central through port 0
+	CycleA    int   // = Principal
+	CycleB    int   // the other cycle node
+	Clique    []int // the z-1 clique nodes other than Central
+}
+
+// AddZLock adds a z-lock (Figure 3) to the builder: a 3-cycle with ports
+// 0, 1 in clockwise order at each node, plus a clique of size z >= 4
+// identified with one cycle node (the central node, degree z+1). ids must
+// have length z+2: ids[0] is the central node, ids[1] and ids[2] the two
+// other cycle nodes (ids[1] becomes the principal node), ids[3:] the
+// remaining clique nodes.
+//
+// Canonical ports: at the central node, 0 and 1 are the cycle ports
+// (port 0 to the principal node) and 2..z the clique ports in increasing
+// clique-local order; inside the clique, canonical increasing order.
+func AddZLock(b *graph.Builder, z int, ids []int) Lock {
+	if z < 4 {
+		panic(fmt.Sprintf("families: z-lock requires z >= 4, got %d", z))
+	}
+	if len(ids) != z+2 {
+		panic(fmt.Sprintf("families: z-lock needs %d ids, got %d", z+2, len(ids)))
+	}
+	w, a, c := ids[0], ids[1], ids[2]
+	// 3-cycle, clockwise w -> a -> c -> w: port 0 clockwise, 1 back.
+	b.AddEdge(w, 0, a, 1)
+	b.AddEdge(a, 0, c, 1)
+	b.AddEdge(c, 0, w, 1)
+	// Clique of size z on {w} ∪ ids[3:]; local numbering w = 0.
+	cl := append([]int{w}, ids[3:]...)
+	for i := 0; i < z; i++ {
+		for j := i + 1; j < z; j++ {
+			pi, pj := cliquePort(i, j), cliquePort(j, i)
+			if i == 0 {
+				pi += 2 // central node's ports 0,1 are taken by the cycle
+			}
+			if j == 0 {
+				pj += 2
+			}
+			b.AddEdge(cl[i], pi, cl[j], pj)
+		}
+	}
+	return Lock{Z: z, Central: w, Principal: a, CycleA: a, CycleB: c, Clique: ids[3:]}
+}
+
+// ZLockGraph returns a standalone z-lock for tests.
+func ZLockGraph(z int) (*graph.Graph, Lock) {
+	b := graph.NewBuilder(z + 2)
+	l := AddZLock(b, z, idsRange(0, z+2))
+	return b.MustFinalize(), l
+}
+
+// S0Member is one graph G_i of the sequence S₀ of Theorem 4.2 (Figure 5):
+// a small left lock and a large right lock joined by a chain whose nodes
+// carry cliques of strictly increasing sizes.
+type S0Member struct {
+	G                             *graph.Graph
+	Alpha, C                      int
+	Index                         int
+	XI                            int   // size parameter x_i of the left lock
+	Left                          Lock  // the x_i-lock
+	Right                         Lock  // the (x_i + 2(alpha+c+2))-lock
+	Chain                         []int // w_1..w_{alpha+c+1}
+	LeftPrincipal, RightPrincipal int
+}
+
+// S0XI returns x_i = 4 + 2i(alpha+c+2) + i, the left-lock size of the
+// i-th member; sizes are spaced so that all clique sizes across the whole
+// sequence are distinct (property 2).
+func S0XI(alpha, c, i int) int { return 4 + 2*i*(alpha+c+2) + i }
+
+// BuildS0Member constructs G_i for the given alpha and integer constant
+// c > 1. Canonical resolutions: the chain edge at a lock's central node
+// uses its next free port z+1; chain node w_j uses its clique ports
+// first (canonical order), then its chain ports (toward the left lock
+// first).
+func BuildS0Member(alpha, c, i int) *S0Member {
+	if alpha < 1 || c < 2 || i < 0 {
+		panic("families: BuildS0Member requires alpha >= 1, c >= 2, i >= 0")
+	}
+	xi := S0XI(alpha, c, i)
+	zl, zr := xi, xi+2*(alpha+c+2)
+	chainLen := alpha + c + 1 // internal nodes w_1..w_{alpha+c+1}
+
+	// Node budget: left lock z+2, right lock z+2, chain nodes each with a
+	// clique of size x_i + 2j (j-th chain node contributes its clique's
+	// other x_i+2j-1 nodes plus itself).
+	n := (zl + 2) + (zr + 2)
+	for j := 1; j <= chainLen; j++ {
+		n += xi + 2*j // clique of size x_i+2j: w_j plus x_i+2j-1 others
+	}
+	b := graph.NewBuilder(n)
+	next := 0
+	alloc := func(k int) []int {
+		ids := idsRange(next, k)
+		next += k
+		return ids
+	}
+	left := AddZLock(b, zl, alloc(zl+2))
+	right := AddZLock(b, zr, alloc(zr+2))
+	chain := make([]int, chainLen)
+	for j := 1; j <= chainLen; j++ {
+		size := xi + 2*j
+		ids := alloc(size)
+		chain[j-1] = ids[0]
+		// Clique of the given size on ids; canonical ports.
+		for a := 0; a < size; a++ {
+			for bb := a + 1; bb < size; bb++ {
+				b.AddEdge(ids[a], cliquePort(a, bb), ids[bb], cliquePort(bb, a))
+			}
+		}
+	}
+	// Chain wiring: u = left central — w_1 — ... — w_{chainLen} — v =
+	// right central. Chain node w_j has clique degree x_i+2j-1 (ports
+	// 0..x_i+2j-2); its chain ports are x_i+2j-1 (left) and x_i+2j (right).
+	leftPort := func(j int) int { return xi + 2*j - 1 }
+	rightPort := func(j int) int { return xi + 2*j }
+	b.AddEdge(left.Central, zl+1, chain[0], leftPort(1))
+	for j := 1; j < chainLen; j++ {
+		b.AddEdge(chain[j-1], rightPort(j), chain[j], leftPort(j+1))
+	}
+	b.AddEdge(chain[chainLen-1], rightPort(chainLen), right.Central, zr+1)
+
+	return &S0Member{
+		G: b.MustFinalize(), Alpha: alpha, C: c, Index: i, XI: xi,
+		Left: left, Right: right, Chain: chain,
+		LeftPrincipal: left.Principal, RightPrincipal: right.Principal,
+	}
+}

@@ -1,0 +1,312 @@
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// LockedGraph is a graph of the form L1 * M * L2 (property 1 of Theorem
+// 4.2): a left lock, a central part, and a right lock, with the two
+// principal nodes tracked. S₀ members are LockedGraphs, and Merge
+// produces LockedGraphs, enabling the inductive construction
+// T_0, T_1, ... of the theorem.
+type LockedGraph struct {
+	G              *graph.Graph
+	Left, Right    Lock
+	LeftPrincipal  int
+	RightPrincipal int
+}
+
+// Locked returns the S₀ member as a LockedGraph.
+func (m *S0Member) Locked() *LockedGraph {
+	return &LockedGraph{
+		G: m.G, Left: m.Left, Right: m.Right,
+		LeftPrincipal: m.LeftPrincipal, RightPrincipal: m.RightPrincipal,
+	}
+}
+
+// MergeParams scales the merge operation. The paper's values (Ell =
+// B(k+1, c), X = largest degree over all previously constructed graphs,
+// ChainLen = twice the largest graph size) produce astronomically large
+// graphs by design; tests use small values, for which all the structural
+// claims (Claim 4.2 substitution fidelity, unique attachment degrees,
+// principal-view coincidence up to the scaled depth) still hold.
+type MergeParams struct {
+	Ell      int // pruned-view depth used in T(L2) and T(L3)
+	X        int // base size for leaf cliques; must exceed every degree of both inputs
+	ChainLen int // number of nodes of the connecting chain X
+}
+
+// PaperMergeParams returns the parameters the paper prescribes for
+// merging two graphs from T_k with bound function B(·, c) evaluated to
+// bk1 = B(k+1, c).
+func PaperMergeParams(h1, h2 *LockedGraph, bk1 int) MergeParams {
+	x := h1.G.MaxDegree()
+	if d := h2.G.MaxDegree(); d > x {
+		x = d
+	}
+	n := h1.G.N()
+	if h2.G.N() > n {
+		n = h2.G.N()
+	}
+	return MergeParams{Ell: bk1, X: x, ChainLen: 2 * n}
+}
+
+// Merge implements the merge operation of Theorem 4.2 (Figures 6–8): it
+// glues h1 and h2 into the graph
+//
+//	L1 * M' * T(L2) * X * T(L3) * M'' * L4,
+//
+// where T(L2) replaces the 3-cycle of h1's right lock by the pruned view
+// of its central node (cliques of sizes X+4, X+8, ... attached at the
+// leaves), T(L3) does the same to h2's left lock (clique sizes offset by
+// 4t+4 to stay unique), and X is a chain of ChainLen nodes carrying
+// cliques of sizes Y+4, Y+8, ... with Y the largest degree of T(L3).
+func Merge(h1, h2 *LockedGraph, p MergeParams) *LockedGraph {
+	if p.Ell < 1 || p.ChainLen < 2 {
+		panic("families: merge requires Ell >= 1 and ChainLen >= 2")
+	}
+	if p.X < h1.G.MaxDegree() || p.X < h2.G.MaxDegree() {
+		panic(fmt.Sprintf("families: merge X = %d below an input degree (%d, %d)",
+			p.X, h1.G.MaxDegree(), h2.G.MaxDegree()))
+	}
+
+	u2 := h1.Right.Central
+	u3 := h2.Left.Central
+	// Per Figure 6, the 3-cycle of each lock is replaced by the pruned
+	// view PV(u, {2..z+1}, Ell): the pruned ports are the clique ports,
+	// so the tree expands through the cycle ports 0 and 1.
+	pv1 := BuildPrunedView(h1.G, u2, cliquePortSet(h1.G, u2), p.Ell)
+	pv2 := BuildPrunedView(h2.G, u3, cliquePortSet(h2.G, u3), p.Ell)
+	leaves1 := pv1.Leaves()
+	leaves2 := pv2.Leaves()
+	t1, t2 := len(leaves1), len(leaves2)
+	cliqueSize1 := func(f int) int { return p.X + 4*f }            // f = 1..t1
+	cliqueSize2 := func(f int) int { return p.X + 4*f + 4*t1 + 4 } // f = 1..t2
+	y := p.X + 4*t2 + 4*t1 + 4                                     // largest degree of T(L3)
+	chainCliqueSize := func(f int) int { return y + 4*f }          // f = 1..ChainLen
+
+	// ---- id budget ----
+	total := 0
+	total += h1.G.N() - 2 // minus right-lock cycle nodes
+	total += pv1.Count() - 1
+	for f := 1; f <= t1; f++ {
+		total += cliqueSize1(f) - 1
+	}
+	for f := 1; f <= p.ChainLen; f++ {
+		total += chainCliqueSize(f) // g_f plus its clique companions
+	}
+	total += h2.G.N() - 2
+	total += pv2.Count() - 1
+	for f := 1; f <= t2; f++ {
+		total += cliqueSize2(f) - 1
+	}
+	b := graph.NewBuilder(total)
+	next := 0
+	alloc := func(k int) []int {
+		ids := idsRange(next, k)
+		next += k
+		return ids
+	}
+
+	// ---- copy h1 minus its right-lock cycle ----
+	skip1 := map[int]bool{h1.Right.CycleA: true, h1.Right.CycleB: true}
+	map1 := copyGraphExcept(b, h1.G, skip1, alloc, u2, cliquePortSet(h1.G, u2))
+	// ---- T(L2): pruned view + leaf cliques ----
+	lastLeaf1 := materializeTL(b, pv1, map1[u2], alloc, cliqueSize1)
+	// ---- chain X ----
+	chainHeads := make([]int, p.ChainLen)
+	for f := 1; f <= p.ChainLen; f++ {
+		size := chainCliqueSize(f)
+		ids := alloc(size)
+		chainHeads[f-1] = ids[0]
+		addPlainClique(b, ids)
+	}
+	// ---- copy h2 minus its left-lock cycle ----
+	skip2 := map[int]bool{h2.Left.CycleA: true, h2.Left.CycleB: true}
+	map2 := copyGraphExcept(b, h2.G, skip2, alloc, u3, cliquePortSet(h2.G, u3))
+	// ---- T(L3) ----
+	lastLeaf2 := materializeTL(b, pv2, map2[u3], alloc, cliqueSize2)
+
+	// ---- connectors ----
+	// a = highest-degree node of T(L2) = last leaf (degree X+4t1), its
+	// next free port is X+4t1; g_1's ports: clique 0..y+3-1? clique of
+	// size y+4 gives g_1 clique-degree y+4-1 (ports 0..y+2), then port
+	// y+3 toward a and y+4 toward g_2. In general g_f uses its two chain
+	// ports y+4f-1 (toward a / g_{f-1}) and y+4f (toward g_{f+1} / b).
+	b.AddEdge(lastLeaf1.id, lastLeaf1.deg, chainHeads[0], y+3)
+	for f := 1; f < p.ChainLen; f++ {
+		b.AddEdge(chainHeads[f-1], y+4*f, chainHeads[f], y+4*(f+1)-1)
+	}
+	b.AddEdge(chainHeads[p.ChainLen-1], y+4*p.ChainLen, lastLeaf2.id, lastLeaf2.deg)
+
+	g := b.MustFinalize()
+	return &LockedGraph{
+		G:    g,
+		Left: remapLock(h1.Left, map1), Right: remapLock(h2.Right, map2),
+		LeftPrincipal:  map1[h1.LeftPrincipal],
+		RightPrincipal: map2[h2.RightPrincipal],
+	}
+}
+
+// cliquePortSet returns the clique ports {2..deg-1} of a lock's central
+// node (ports 0 and 1 are its cycle ports).
+func cliquePortSet(g *graph.Graph, central int) map[int]bool {
+	s := make(map[int]bool)
+	for pp := 2; pp < g.Deg(central); pp++ {
+		s[pp] = true
+	}
+	return s
+}
+
+// copyGraphExcept copies g into b, skipping the given nodes (and all
+// their edges), and — at the special node keepOnly — keeping only the
+// edges through the given ports. Returns old->new id map.
+func copyGraphExcept(b *graph.Builder, g *graph.Graph, skip map[int]bool,
+	alloc func(int) []int, keepOnly int, keepPorts map[int]bool) map[int]int {
+	ids := alloc(g.N() - len(skip))
+	m := make(map[int]int, g.N())
+	i := 0
+	for v := 0; v < g.N(); v++ {
+		if skip[v] {
+			continue
+		}
+		m[v] = ids[i]
+		i++
+	}
+	for v := 0; v < g.N(); v++ {
+		if skip[v] {
+			continue
+		}
+		for pp := 0; pp < g.Deg(v); pp++ {
+			h := g.At(v, pp)
+			if skip[h.To] || v > h.To {
+				continue
+			}
+			if v == keepOnly && !keepPorts[pp] {
+				continue
+			}
+			if h.To == keepOnly && !keepPorts[h.RemotePort] {
+				continue
+			}
+			b.AddEdge(m[v], pp, m[h.To], h.RemotePort)
+		}
+	}
+	return m
+}
+
+type leafInfo struct {
+	id  int
+	deg int // degree after clique attachment; its next free port
+}
+
+// materializeTL wires a pruned view into the builder with its root
+// identified with rootID, attaching a clique of size sizeOf(f) at the
+// f-th leaf (1-based, canonical DFS order). It returns the last leaf,
+// which is the highest-degree node of the transformation.
+func materializeTL(b *graph.Builder, pv *PVNode, rootID int,
+	alloc func(int) []int, sizeOf func(int) int) leafInfo {
+	ids := map[*PVNode]int{pv: rootID}
+	var assign func(n *PVNode)
+	assign = func(n *PVNode) {
+		for _, ch := range n.Children {
+			ids[ch.Node] = alloc(1)[0]
+			assign(ch.Node)
+		}
+	}
+	assign(pv)
+	var wire func(n *PVNode)
+	wire = func(n *PVNode) {
+		for _, ch := range n.Children {
+			b.AddEdge(ids[n], ch.PortHere, ids[ch.Node], ch.PortThere)
+			wire(ch.Node)
+		}
+	}
+	wire(pv)
+	var last leafInfo
+	for f, leaf := range pv.Leaves() {
+		size := sizeOf(f + 1)
+		companions := alloc(size - 1)
+		attachCliqueAt(b, ids[leaf], leaf.EntryPort, companions, size)
+		last = leafInfo{id: ids[leaf], deg: size}
+	}
+	return last
+}
+
+// attachCliqueAt attaches a clique of the given size at node anchor whose
+// single existing edge uses port takenPort; the anchor's clique ports are
+// the remaining values of {0..size-1} in increasing order, companions use
+// canonical ports (anchor is their local node 0).
+func attachCliqueAt(b *graph.Builder, anchor, takenPort int, companions []int, size int) {
+	if len(companions) != size-1 {
+		panic("families: companion count mismatch")
+	}
+	if takenPort >= size {
+		panic(fmt.Sprintf("families: anchor port %d exceeds clique size %d", takenPort, size))
+	}
+	free := make([]int, 0, size-1)
+	for pp := 0; pp < size; pp++ {
+		if pp != takenPort {
+			free = append(free, pp)
+		}
+	}
+	local := append([]int{anchor}, companions...)
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			pi, pj := cliquePort(i, j), cliquePort(j, i)
+			if i == 0 {
+				pi = free[pi]
+			}
+			if j == 0 {
+				pj = free[pj]
+			}
+			b.AddEdge(local[i], pi, local[j], pj)
+		}
+	}
+}
+
+// addPlainClique adds a clique on ids with canonical ports.
+func addPlainClique(b *graph.Builder, ids []int) {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			b.AddEdge(ids[i], cliquePort(i, j), ids[j], cliquePort(j, i))
+		}
+	}
+}
+
+func remapLock(l Lock, m map[int]int) Lock {
+	out := Lock{Z: l.Z, Central: m[l.Central], Principal: m[l.Principal],
+		CycleA: m[l.CycleA], CycleB: m[l.CycleB]}
+	for _, v := range l.Clique {
+		out.Clique = append(out.Clique, m[v])
+	}
+	return out
+}
+
+// Glue realizes the A ∗ B operation of Figure 4: it joins two disjoint
+// graphs by one new edge between node a of g1 and node b of g2, using
+// the next free port at each endpoint. The result's nodes are g1's
+// (ids unchanged) followed by g2's (ids shifted by g1.N()).
+func Glue(g1, g2 *graph.Graph, a, b int) *graph.Graph {
+	n1 := g1.N()
+	bld := graph.NewBuilder(n1 + g2.N())
+	for v := 0; v < n1; v++ {
+		for p := 0; p < g1.Deg(v); p++ {
+			h := g1.At(v, p)
+			if v < h.To {
+				bld.AddEdge(v, p, h.To, h.RemotePort)
+			}
+		}
+	}
+	for v := 0; v < g2.N(); v++ {
+		for p := 0; p < g2.Deg(v); p++ {
+			h := g2.At(v, p)
+			if v < h.To {
+				bld.AddEdge(n1+v, p, n1+h.To, h.RemotePort)
+			}
+		}
+	}
+	bld.AddEdge(a, g1.Deg(a), n1+b, g2.Deg(b))
+	return bld.MustFinalize()
+}

@@ -1,0 +1,161 @@
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Necklace describes a k-necklace of Theorem 3.3 (Figure 2): k joints in
+// a row, consecutive joints connected through a diamond (a clique of size
+// x attached to both by rays), an emerald (a clique from F(x)) on every
+// joint, and two chains of length φ-1 hanging off the end joints, whose
+// far endpoints are the left and right leaves.
+type Necklace struct {
+	G         *graph.Graph
+	K, X, Phi int
+	Code      []int // the code (c_1..c_k); c_1 = c_k = 0
+	Joints    []int // sim ids of w_1..w_k
+	LeftLeaf  int   // sim id of a_0
+	RightLeaf int   // sim id of b_0
+}
+
+// NecklaceCodeCount returns the number of admissible codes, (x+1)^(k-3):
+// every entry ranges over {0..x}; c_1, c_{k-1} and c_k are pinned to 0 so
+// that the diamonds visible from the two leaves at depth φ (D_1 and
+// D_{k-1}) are identical across all codes — the Observation inside
+// Claim 3.11 depends on it.
+func NecklaceCodeCount(k, x int) int {
+	c := 1
+	for i := 0; i < k-3; i++ {
+		if c > (1<<40)/(x+1) {
+			panic("families: necklace code count overflows")
+		}
+		c *= x + 1
+	}
+	return c
+}
+
+// NecklaceCode returns the t-th code (c_1..c_k) in lexicographic order of
+// the free entries c_2..c_{k-2}.
+func NecklaceCode(k, x, t int) []int {
+	total := NecklaceCodeCount(k, x)
+	if t < 0 || t >= total {
+		panic(fmt.Sprintf("families: code index %d out of [0,%d)", t, total))
+	}
+	code := make([]int, k)
+	for i := k - 3; i >= 1; i-- {
+		code[i] = t % (x + 1)
+		t /= x + 1
+	}
+	return code
+}
+
+// BuildNecklace constructs the k-necklace with the given code. Requires
+// k even, k >= 2, x >= 2, phi >= 2, k <= (x-1)^x and len(code) == k with
+// code[0] == code[k-1] == 0.
+//
+// Canonical resolutions of the paper's "assign arbitrarily" steps:
+// ray ports at a joint are assigned within their prescribed range in
+// increasing order of the diamond-local node index.
+func BuildNecklace(k, x, phi int, code []int) *Necklace {
+	switch {
+	case k < 2 || k%2 != 0:
+		panic(fmt.Sprintf("families: necklace requires even k >= 2, got %d", k))
+	case x < 2:
+		panic(fmt.Sprintf("families: necklace requires x >= 2, got %d", x))
+	case phi < 2:
+		panic(fmt.Sprintf("families: necklace requires phi >= 2, got %d", phi))
+	case k > FXCount(x):
+		panic(fmt.Sprintf("families: k = %d exceeds |F(%d)| = %d", k, x, FXCount(x)))
+	case len(code) != k || code[0] != 0 || code[k-2] != 0 || code[k-1] != 0:
+		panic("families: invalid necklace code")
+	}
+	for _, c := range code {
+		if c < 0 || c > x {
+			panic("families: code entry out of range")
+		}
+	}
+
+	joints := idsRange(0, k)
+	diamondStart := k
+	emeraldStart := diamondStart + (k-1)*x
+	chainStart := emeraldStart + k*x
+	n := chainStart + 2*(phi-1)
+	b := graph.NewBuilder(n)
+
+	diamondNode := func(i, j int) int { return diamondStart + (i-1)*x + j } // D_i, i in 1..k-1
+	aNode := func(j int) int { return chainStart + j }                      // a_0..a_{phi-2}
+	bNode := func(j int) int { return chainStart + (phi - 1) + j }          // b_0..b_{phi-2}
+
+	// shift applies the code to a port at a node of D_i.
+	shift := func(i, p int) int { return (p + code[i-1]) % (x + 1) }
+
+	// Diamonds: internal canonical clique ports 0..x-2; ray to w_i has
+	// port x-1 and ray to w_{i+1} port x (then code-shifted).
+	// Joint-side ray ports: the prescribed ranges of the paper, assigned
+	// in increasing diamond-node order.
+	jointRayPort := func(i int, left bool, j int) int {
+		// Port at joint w_i for the ray to node j of the adjacent
+		// diamond: left means the diamond D_{i-1} (toward w_1).
+		if i == 1 {
+			return x + j // rays to D_1 from {x..2x-1}
+		}
+		if i == k {
+			return x + j // rays to D_{k-1} from {x..2x-1}
+		}
+		lowRange := i%2 == 0 // even joints: D_{i-1} gets {x..2x-1}
+		if left == lowRange {
+			return x + j
+		}
+		return 2*x + j
+	}
+	for i := 1; i <= k-1; i++ {
+		for a := 0; a < x; a++ {
+			for bb := a + 1; bb < x; bb++ {
+				b.AddEdge(diamondNode(i, a), shift(i, cliquePort(a, bb)),
+					diamondNode(i, bb), shift(i, cliquePort(bb, a)))
+			}
+		}
+		for j := 0; j < x; j++ {
+			b.AddEdge(diamondNode(i, j), shift(i, x-1), joints[i-1], jointRayPort(i, false, j))
+			b.AddEdge(diamondNode(i, j), shift(i, x), joints[i], jointRayPort(i+1, true, j))
+		}
+	}
+
+	// Emeralds: E_i is the clique C_{i-1} of F(x) with r identified with
+	// w_i; emerald ports at the joint are 0..x-1 by construction.
+	for i := 1; i <= k; i++ {
+		ids := append([]int{joints[i-1]}, idsRange(emeraldStart+(i-1)*x, x)...)
+		AddFXClique(b, x, i-1, ids)
+	}
+
+	// Chains. Port at w_1 and w_k for the chain edge is 2x for end joints
+	// (their ray range is {x..2x-1}), so 2x is the next free port.
+	if phi == 2 {
+		b.AddEdge(aNode(0), 0, joints[0], 2*x)
+		b.AddEdge(bNode(0), 0, joints[k-1], 2*x)
+	} else {
+		b.AddEdge(aNode(phi-2), 0, joints[0], 2*x)
+		b.AddEdge(bNode(phi-2), 0, joints[k-1], 2*x)
+		for j := 0; j < phi-2; j++ {
+			// Edge a_j — a_{j+1}: at a_j the port toward a_{j+1} is 0 for
+			// j = 0 and also 0 for interior nodes; at a_{j+1} the port
+			// back toward a_j is 1.
+			b.AddEdge(aNode(j), 0, aNode(j+1), 1)
+			b.AddEdge(bNode(j), 0, bNode(j+1), 1)
+		}
+	}
+
+	return &Necklace{
+		G: b.MustFinalize(), K: k, X: x, Phi: phi,
+		Code: append([]int(nil), code...), Joints: joints,
+		LeftLeaf: aNode(0), RightLeaf: bNode(0),
+	}
+}
+
+// NecklaceEntropyBits returns (k-3)·log2(x+1), the information forced by
+// Claim 3.11: distinct codes need distinct advice.
+func NecklaceEntropyBits(k, x int) float64 {
+	return float64(k-3) * log2(float64(x+1))
+}

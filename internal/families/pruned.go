@@ -1,0 +1,218 @@
+package families
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// PVNode is a node of a pruned view PV_G(u, P, l) (Theorem 4.2): the tree
+// of height l rooted at u obtained by unrolling G from u, skipping the
+// ports of P at the root and, below the root, skipping only the port
+// leading back to the parent. Unlike a truncated view, a pruned view has
+// no repeated port numbers at any node, so it can be grafted back into a
+// graph construction — exactly how the paper uses it in T(L) (Figure 6).
+type PVNode struct {
+	GNode     int // the graph node this tree node is a copy of
+	EntryPort int // port at this node toward its parent (-1 at root)
+	Children  []*PVChild
+}
+
+// PVChild is a tree edge with the graph's two port numbers.
+type PVChild struct {
+	PortHere  int // port at the parent tree node
+	PortThere int // port at the child (its EntryPort)
+	Node      *PVNode
+}
+
+// BuildPrunedView computes PV_g(u, pruned, l). pruned is the set of ports
+// of u to skip. Every non-root tree node is a full-degree copy of its
+// graph node (its ports are exactly the graph's), and the root keeps all
+// ports except pruned, so the result can be embedded with the original
+// port numbers. Requires l >= 1.
+func BuildPrunedView(g *graph.Graph, u int, pruned map[int]bool, l int) *PVNode {
+	if l < 1 {
+		panic(fmt.Sprintf("families: pruned view depth %d < 1", l))
+	}
+	root := &PVNode{GNode: u, EntryPort: -1}
+	var grow func(n *PVNode, skip map[int]bool, depth int)
+	grow = func(n *PVNode, skip map[int]bool, depth int) {
+		if depth == 0 {
+			return
+		}
+		for p := 0; p < g.Deg(n.GNode); p++ {
+			if skip[p] {
+				continue
+			}
+			h := g.At(n.GNode, p)
+			child := &PVNode{GNode: h.To, EntryPort: h.RemotePort}
+			n.Children = append(n.Children, &PVChild{PortHere: p, PortThere: h.RemotePort, Node: child})
+			grow(child, map[int]bool{h.RemotePort: true}, depth-1)
+		}
+	}
+	grow(root, pruned, l)
+	return root
+}
+
+// Count returns the number of nodes of the pruned view.
+func (n *PVNode) Count() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.Node.Count()
+	}
+	return c
+}
+
+// Leaves returns the childless nodes in canonical DFS order (increasing
+// port at every step), the order m_1, ..., m_t used when attaching
+// cliques in the T(L) transformation.
+func (n *PVNode) Leaves() []*PVNode {
+	var out []*PVNode
+	var walk func(n *PVNode)
+	walk = func(n *PVNode) {
+		if len(n.Children) == 0 {
+			out = append(out, n)
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch.Node)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Depths returns the distance from the root of every leaf, for verifying
+// Claim 4.3 (all leaves at exactly depth l when no branch dies).
+func (n *PVNode) Depths() []int {
+	var out []int
+	var walk func(n *PVNode, d int)
+	walk = func(n *PVNode, d int) {
+		if len(n.Children) == 0 {
+			out = append(out, d)
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch.Node, d+1)
+		}
+	}
+	walk(n, 0)
+	return out
+}
+
+// SubstitutePrunedView realizes the operation of Claim 4.2: given an
+// articulation node u of g whose edge set at ports P disconnects g, it
+// returns the graph g* in which the connected component containing u
+// (after removing those edges) is replaced by PV_g(u, P, l). The kept
+// side is everything reachable from u through the ports of P. It returns
+// the new graph and the sim id of u in it.
+//
+// Claim 4.2 asserts B^{l-1}(u) is identical in g and g*; the tests verify
+// it on concrete graphs.
+func SubstitutePrunedView(g *graph.Graph, u int, ports []int, l int) (*graph.Graph, int, error) {
+	pruned := make(map[int]bool, len(ports))
+	for _, p := range ports {
+		if p < 0 || p >= g.Deg(u) {
+			return nil, 0, fmt.Errorf("families: port %d invalid at node of degree %d", p, g.Deg(u))
+		}
+		pruned[p] = true
+	}
+	// Find the kept component: nodes reachable from u using, at u, only
+	// the ports of P (u itself belongs to both sides conceptually; the
+	// replaced side is what the pruned view re-creates as a tree).
+	kept := make(map[int]bool)
+	kept[u] = true
+	var stack []int
+	for p := range pruned {
+		stack = append(stack, g.Neighbor(u, p))
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if kept[v] {
+			continue
+		}
+		kept[v] = true
+		for p := 0; p < g.Deg(v); p++ {
+			if w := g.Neighbor(v, p); !kept[w] {
+				stack = append(stack, w)
+			}
+		}
+	}
+	// If the removed side is reachable from the kept side without going
+	// through u, u was not an articulation point for this split.
+	for v := range kept {
+		if v == u {
+			continue
+		}
+		for p := 0; p < g.Deg(v); p++ {
+			w := g.Neighbor(v, p)
+			if !kept[w] {
+				return nil, 0, fmt.Errorf("families: ports do not disconnect: node %d leaks to %d", v, w)
+			}
+		}
+	}
+	pv := BuildPrunedView(g, u, pruned, l)
+	// New graph: kept nodes + pruned-view nodes (root identified with u).
+	ids := make(map[int]int)
+	next := 0
+	for v := 0; v < g.N(); v++ {
+		if kept[v] {
+			ids[v] = next
+			next++
+		}
+	}
+	treeIDs := make(map[*PVNode]int)
+	treeIDs[pv] = ids[u]
+	var assign func(n *PVNode)
+	assign = func(n *PVNode) {
+		for _, ch := range n.Children {
+			treeIDs[ch.Node] = next
+			next++
+			assign(ch.Node)
+		}
+	}
+	assign(pv)
+	b := graph.NewBuilder(next)
+	// Kept-side edges, each added once from its smaller endpoint. At u,
+	// only the pruned-port edges survive (the others are re-created by
+	// the tree).
+	for v := 0; v < g.N(); v++ {
+		if !kept[v] {
+			continue
+		}
+		for p := 0; p < g.Deg(v); p++ {
+			h := g.At(v, p)
+			if !kept[h.To] || v > h.To {
+				continue
+			}
+			if (v == u && !pruned[p]) || (h.To == u && !pruned[h.RemotePort]) {
+				continue
+			}
+			b.AddEdge(ids[v], p, ids[h.To], h.RemotePort)
+		}
+	}
+	// Tree edges. Bottom leaves of the pruned view keep their graph entry
+	// port in the paper's T(L) construction because a clique is attached
+	// there; in this bare substitution they have degree 1, so their
+	// single port is renumbered to 0. This cannot affect Claim 4.2: the
+	// claim concerns B^{l-1}(u) (and B^{d+l-1} on the kept side), which
+	// never reaches the ports or degrees of nodes at tree depth l.
+	var wire func(n *PVNode)
+	wire = func(n *PVNode) {
+		for _, ch := range n.Children {
+			portThere := ch.PortThere
+			if len(ch.Node.Children) == 0 {
+				portThere = 0
+			}
+			b.AddEdge(treeIDs[n], ch.PortHere, treeIDs[ch.Node], portThere)
+			wire(ch.Node)
+		}
+	}
+	wire(pv)
+	g2, err := b.Finalize()
+	if err != nil {
+		return nil, 0, err
+	}
+	return g2, ids[u], nil
+}

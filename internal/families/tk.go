@@ -1,0 +1,104 @@
+package families
+
+import "fmt"
+
+// TkSequence materializes the inductive construction at the heart of
+// Theorem 4.2: T_0 is (a scaled-down slice of) the S₀ sequence, and
+// T_{k+1} is obtained by merging consecutive pairs of T_k. In the paper
+// each T_{k+1} member fools any fixed algorithm into confusing it with
+// two different T_k members (property 9), which forces a fresh advice
+// value per level and yields the Ω(log α) bound.
+//
+// Level sizes halve: |T_{k+1}| = |T_k| / 2, exactly as in the paper
+// (where a same-advice subsequence is also extracted; advice extraction
+// is an adversary-vs-algorithm step, demonstrated separately by the
+// cross-advice tests).
+type TkSequence struct {
+	Alpha, C int
+	Params   MergeParams // scaled merge parameters used at every level
+	Levels   [][]*LockedGraph
+}
+
+// BuildTkSequence builds levels T_0 .. T_depth starting from width
+// members of S₀ (width must be a power of two >= 2^depth). The merge
+// parameters are recomputed per level so that X always dominates the
+// inputs' degrees; ell and chainLen are taken from params and kept small
+// (the paper's values are astronomically large by design — DESIGN.md §3).
+func BuildTkSequence(alpha, c, width, depth int, params MergeParams) *TkSequence {
+	if width < 1<<uint(depth) {
+		panic(fmt.Sprintf("families: width %d cannot support %d merge levels", width, depth))
+	}
+	if width%(1<<uint(depth)) != 0 {
+		panic("families: width must be divisible by 2^depth")
+	}
+	seq := &TkSequence{Alpha: alpha, C: c, Params: params}
+	t0 := make([]*LockedGraph, width)
+	for i := 0; i < width; i++ {
+		t0[i] = BuildS0Member(alpha, c, i).Locked()
+	}
+	seq.Levels = append(seq.Levels, t0)
+	for k := 0; k < depth; k++ {
+		prev := seq.Levels[k]
+		next := make([]*LockedGraph, 0, len(prev)/2)
+		for i := 0; i+1 < len(prev); i += 2 {
+			p := params
+			if d := prev[i].G.MaxDegree(); d > p.X {
+				p.X = d
+			}
+			if d := prev[i+1].G.MaxDegree(); d > p.X {
+				p.X = d
+			}
+			next = append(next, Merge(prev[i], prev[i+1], p))
+		}
+		seq.Levels = append(seq.Levels, next)
+	}
+	return seq
+}
+
+// Member returns the j-th graph of level k.
+func (s *TkSequence) Member(k, j int) *LockedGraph { return s.Levels[k][j] }
+
+// CheckStructure verifies the scale-independent properties of the
+// construction on every built level: the lock form (property 1), strictly
+// growing lock sizes along each level (property 2), no degree-1 nodes
+// (property 3), diameter realized between the principal nodes
+// (properties 4+10), and strictly growing diameters across levels
+// (property 5). It returns the first violation.
+func (s *TkSequence) CheckStructure() error {
+	prevDiam := -1
+	for k, level := range s.Levels {
+		diam := -1
+		prevRight := -1
+		for j, m := range level {
+			if m.G.Deg(m.Left.Central) != m.Left.Z+2 || m.G.Deg(m.Right.Central) != m.Right.Z+2 {
+				return fmt.Errorf("families: T_%d[%d]: lock central degrees wrong", k, j)
+			}
+			if m.Left.Z <= prevRight {
+				return fmt.Errorf("families: T_%d[%d]: lock sizes not increasing along the level", k, j)
+			}
+			if m.Right.Z <= m.Left.Z {
+				return fmt.Errorf("families: T_%d[%d]: right lock not larger than left", k, j)
+			}
+			prevRight = m.Right.Z
+			for v := 0; v < m.G.N(); v++ {
+				if m.G.Deg(v) < 2 {
+					return fmt.Errorf("families: T_%d[%d]: node of degree %d", k, j, m.G.Deg(v))
+				}
+			}
+			d := m.G.Diameter()
+			if got := m.G.Dist(m.LeftPrincipal, m.RightPrincipal); got != d {
+				return fmt.Errorf("families: T_%d[%d]: principal distance %d != diameter %d", k, j, got, d)
+			}
+			if diam == -1 {
+				diam = d
+			} else if d != diam {
+				return fmt.Errorf("families: T_%d: diameters differ within the level (%d vs %d)", k, d, diam)
+			}
+		}
+		if diam <= prevDiam {
+			return fmt.Errorf("families: T_%d diameter %d not above T_%d's %d", k, diam, k-1, prevDiam)
+		}
+		prevDiam = diam
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package families
+
+import (
+	"testing"
+
+	"repro/internal/view"
+)
+
+func smallTk(t *testing.T, depth int) *TkSequence {
+	t.Helper()
+	return BuildTkSequence(1, 2, 4, depth, MergeParams{Ell: 2, X: 0, ChainLen: 4})
+}
+
+func TestTkSequenceLevels(t *testing.T) {
+	seq := smallTk(t, 2)
+	if len(seq.Levels) != 3 {
+		t.Fatalf("levels = %d", len(seq.Levels))
+	}
+	if len(seq.Levels[0]) != 4 || len(seq.Levels[1]) != 2 || len(seq.Levels[2]) != 1 {
+		t.Fatalf("widths = %d %d %d", len(seq.Levels[0]), len(seq.Levels[1]), len(seq.Levels[2]))
+	}
+	// Sizes grow strictly across levels.
+	for k := 1; k < len(seq.Levels); k++ {
+		if seq.Member(k, 0).G.N() <= seq.Member(k-1, 0).G.N() {
+			t.Errorf("level %d member not larger than level %d's", k, k-1)
+		}
+	}
+}
+
+func TestTkStructureProperties(t *testing.T) {
+	seq := smallTk(t, 2)
+	if err := seq.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property 9 instance across two levels: a T_1 member's left principal
+// node shares views with its left T_0 ancestor up to the protected depth.
+func TestTkPrincipalCoincidenceAcrossLevels(t *testing.T) {
+	seq := smallTk(t, 1)
+	h := seq.Member(0, 0) // left input of the first merge
+	q := seq.Member(1, 0)
+	tab := view.NewTable()
+	dist := h.G.Dist(h.LeftPrincipal, h.Right.Central)
+	depth := dist + seq.Params.Ell - 2
+	if view.Of(tab, h.G, h.LeftPrincipal, depth) != view.Of(tab, q.G, q.LeftPrincipal, depth) {
+		t.Errorf("principal views differ at protected depth %d", depth)
+	}
+}
+
+// Every built member stays feasible with a small election index — the
+// scaled analogue of property 8.
+func TestTkFeasibleSmallIndex(t *testing.T) {
+	seq := smallTk(t, 2)
+	tab := view.NewTable()
+	for k, level := range seq.Levels {
+		for j, m := range level {
+			phi, ok := view.ElectionIndex(tab, m.G)
+			if !ok {
+				t.Fatalf("T_%d[%d] infeasible", k, j)
+			}
+			if phi > seq.Params.Ell+2 {
+				t.Errorf("T_%d[%d]: phi = %d beyond scaled bound", k, j, phi)
+			}
+		}
+	}
+}
+
+func TestTkPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildTkSequence(1, 2, 2, 2, MergeParams{Ell: 2, ChainLen: 4}) },
+		func() { BuildTkSequence(1, 2, 6, 2, MergeParams{Ell: 2, ChainLen: 4}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

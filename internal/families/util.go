@@ -1,0 +1,5 @@
+package families
+
+import "math"
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTorus(t *testing.T) {
+	g := Torus(3, 4)
+	if g.N() != 12 || g.M() != 24 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if err := mustDeg(g, v, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// left/right are inverses: port 1 then port 0 returns home.
+	if g.Neighbor(g.Neighbor(5, 1), 0) != 5 {
+		t.Error("torus left/right ports inconsistent")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(3)
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Deg(0) != 2 {
+		t.Error("root degree")
+	}
+	if g.Deg(1) != 3 || g.Deg(7) != 1 {
+		t.Error("internal/leaf degrees")
+	}
+	if g.Diameter() != 6 {
+		t.Errorf("diameter %d", g.Diameter())
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar([]int{2, 0, 1})
+	if g.N() != 6 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if g.Deg(0) != 3 || g.Deg(1) != 2 || g.Deg(2) != 2 {
+		t.Error("spine degrees wrong")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(5)
+	if g.N() != 6 || g.M() != 10 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Deg(5) != 5 {
+		t.Error("hub degree")
+	}
+	if g.Diameter() != 2 {
+		t.Error("wheel diameter")
+	}
+}
+
+func TestWheelWithTail(t *testing.T) {
+	g := WheelWithTail(5, 3)
+	if g.N() != 9 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if g.Deg(0) != 4 {
+		t.Error("tail attachment degree")
+	}
+}
+
+func TestBroom(t *testing.T) {
+	g := Broom(3, 2)
+	if g.N() != 6 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Deg(0) != 4 {
+		t.Error("broom center degree")
+	}
+}
+
+func TestGenerator2Panics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Torus(2, 3) },
+		func() { BinaryTree(0) },
+		func() { Caterpillar([]int{1}) },
+		func() { Caterpillar([]int{1, -1}) },
+		func() { Wheel(2) },
+		func() { WheelWithTail(3, 0) },
+		func() { Broom(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		Path(5), Clique(4), Torus(3, 3), Wheel(4), Broom(3, 2),
+		RandomConnected(20, 10, 3),
+	} {
+		text := g.Text()
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, text)
+		}
+		if got.Text() != text {
+			t.Error("round trip not canonical")
+		}
+		if !Isomorphic(g, got) {
+			t.Error("round trip changed the graph")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"e 0 0 1 0",      // edge before n
+		"n 2\nn 2",       // duplicate n
+		"n 2\nz 1",       // unknown directive
+		"n 2\ne 0 0",     // short edge
+		"n 2\ne 0 0 5 0", // out of range (builder)
+		"n 3\ne 0 0 1 0", // disconnected (builder)
+		"n x",            // bad count
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	g, err := Parse("# a path\n\nn 2\n e 0 0 1 0 \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Error("wrong graph")
+	}
+}
+
+// Property: serialization is canonical — isomorphic-by-identity graphs
+// built twice produce identical text.
+func TestTextDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandomConnected(12, 6, seed)
+		b := RandomConnected(12, 6, seed)
+		return a.Text() == b.Text()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteToCountsBytes(t *testing.T) {
+	var sb strings.Builder
+	n, err := Path(3).WriteTo(&sb)
+	if err != nil || int(n) != len(sb.String()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, len(sb.String()))
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// This file implements the paper's remark that "the synchronous process
+// of the LOCAL model can be simulated in an asynchronous network using
+// time-stamps": an event-driven asynchronous network with adversarial
+// (seeded-random) message delays, on which every node runs the standard
+// α-synchronizer — it stamps each message with its round number and
+// advances to round r+1 only after collecting the round-r messages of
+// all neighbors. The decisions (outputs and logical round numbers) must
+// be — and are, see TestAsyncMatchesSynchronous — identical to the
+// synchronous engines'; only the wall-clock ("virtual time") differs.
+
+// asyncEvent is the delivery of one stamped message.
+type asyncEvent struct {
+	at         float64 // virtual delivery time
+	seq        int     // tie-break for determinism
+	dst        int
+	dstPort    int // port at dst through which the message arrives
+	round      int
+	senderPort int
+	v          *view.View
+}
+
+type eventQueue []*asyncEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*asyncEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// AsyncResult extends Result with the virtual completion time.
+type AsyncResult struct {
+	Result
+	VirtualTime float64 // time at which the last node decided
+}
+
+// RunAsync executes the protocol on an asynchronous network whose edge
+// delays are drawn uniformly from (0, 1] by a deterministic RNG seeded
+// with seed. Logical rounds are driven by the time-stamp synchronizer.
+func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed int64) (*AsyncResult, error) {
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed))
+	type nodeState struct {
+		d       Decider
+		round   int // current logical round (knowledge depth)
+		b       *view.View
+		decided bool
+		output  []int
+		decAt   int
+		// inbox[r] collects round-r messages indexed by local port.
+		inbox map[int][]*asyncEvent
+		got   map[int]int
+	}
+	states := make([]*nodeState, n)
+	res := &AsyncResult{Result: Result{Outputs: make([][]int, n), Rounds: make([]int, n)}}
+	undecided := n
+
+	var q eventQueue
+	seq := 0
+	now := 0.0
+	send := func(v int, st *nodeState) {
+		// Broadcast the node's current view, stamped with its round.
+		for p := 0; p < g.Deg(v); p++ {
+			h := g.At(v, p)
+			seq++
+			heap.Push(&q, &asyncEvent{
+				at:         now + 1e-6 + rng.Float64(),
+				seq:        seq,
+				dst:        h.To,
+				dstPort:    h.RemotePort,
+				round:      st.round,
+				senderPort: p,
+				v:          st.b,
+			})
+		}
+	}
+	decide := func(v int, st *nodeState) {
+		if st.decided {
+			return
+		}
+		if out, ok := st.d.Decide(st.round, st.b); ok {
+			st.decided, st.output, st.decAt = true, out, st.round
+			undecided--
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		st := &nodeState{
+			d:     f(v, g.Deg(v)),
+			b:     tab.Leaf(g.Deg(v)),
+			inbox: make(map[int][]*asyncEvent),
+			got:   make(map[int]int),
+		}
+		states[v] = st
+		decide(v, st)
+	}
+	if undecided > 0 {
+		for v := 0; v < n; v++ {
+			send(v, states[v])
+		}
+	}
+	for undecided > 0 && q.Len() > 0 {
+		e := heap.Pop(&q).(*asyncEvent)
+		now = e.at
+		st := states[e.dst]
+		if st.inbox[e.round] == nil {
+			st.inbox[e.round] = make([]*asyncEvent, g.Deg(e.dst))
+		}
+		if st.inbox[e.round][e.dstPort] == nil {
+			st.inbox[e.round][e.dstPort] = e
+			st.got[e.round]++
+		}
+		// Synchronizer: advance while the full frontier has arrived.
+		for st.got[st.round] == g.Deg(e.dst) {
+			msgs := st.inbox[st.round]
+			delete(st.inbox, st.round)
+			delete(st.got, st.round)
+			edges := make([]view.Edge, g.Deg(e.dst))
+			for p, m := range msgs {
+				edges[p] = view.Edge{RemotePort: m.senderPort, Child: m.v}
+			}
+			st.b = tab.Make(edges)
+			st.round++
+			if st.round > maxRounds {
+				return nil, fmt.Errorf("sim: async node undecided after %d rounds", maxRounds)
+			}
+			decide(e.dst, st)
+			if undecided == 0 {
+				break
+			}
+			send(e.dst, st)
+		}
+	}
+	if undecided > 0 {
+		return nil, fmt.Errorf("sim: async network quiesced with %d undecided nodes", undecided)
+	}
+	for v, st := range states {
+		res.Outputs[v] = st.output
+		res.Rounds[v] = st.decAt
+		if st.decAt > res.Time {
+			res.Time = st.decAt
+		}
+	}
+	res.VirtualTime = now
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// The synchronizer guarantee: regardless of message delays, every node's
+// logical knowledge at logical round r is exactly B^r(v), so decisions
+// and decision rounds match the synchronous engines exactly.
+func TestAsyncMatchesSynchronous(t *testing.T) {
+	g := graph.Lollipop(5, 4)
+	mkFactory := func() Factory {
+		return func(simID, deg int) Decider {
+			round := 3
+			if deg == 1 {
+				round = 5
+			}
+			return &stopAt{round: round, out: []int{}}
+		}
+	}
+	tab := view.NewTable()
+	syncRes, err := RunSequential(tab, g, mkFactory(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		tab2 := view.NewTable()
+		asyncRes, err := RunAsync(tab2, g, mkFactory(), 100, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if asyncRes.Time != syncRes.Time {
+			t.Errorf("seed %d: time %d vs %d", seed, asyncRes.Time, syncRes.Time)
+		}
+		for v := range syncRes.Rounds {
+			if asyncRes.Rounds[v] != syncRes.Rounds[v] {
+				t.Errorf("seed %d: node %d decided at %d, sync at %d",
+					seed, v, asyncRes.Rounds[v], syncRes.Rounds[v])
+			}
+		}
+		if asyncRes.VirtualTime <= 0 {
+			t.Error("virtual time not tracked")
+		}
+	}
+}
+
+// Knowledge fidelity under asynchrony: the views handed to deciders are
+// the same interned values the synchronous engine would deliver.
+func TestAsyncKnowledgeIsBr(t *testing.T) {
+	g := graph.RandomConnected(10, 5, 3)
+	tab := view.NewTable()
+	levels := view.Levels(tab, g, 3)
+	deciders := make([]*stopAt, g.N())
+	f := func(simID, deg int) Decider {
+		d := &stopAt{round: 3}
+		deciders[simID] = d
+		return d
+	}
+	if _, err := RunAsync(tab, g, f, 100, 42); err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range deciders {
+		for r, b := range d.seen {
+			if b != levels[r][v] {
+				t.Errorf("node %d logical round %d: knowledge mismatch", v, r)
+			}
+		}
+	}
+}
+
+func TestAsyncMaxRounds(t *testing.T) {
+	g := graph.Path(3)
+	tab := view.NewTable()
+	f := func(simID, deg int) Decider { return never{} }
+	if _, err := RunAsync(tab, g, f, 5, 1); err == nil {
+		t.Error("expected max-rounds error")
+	}
+}
+
+func TestAsyncImmediateDecision(t *testing.T) {
+	g := graph.Path(4)
+	tab := view.NewTable()
+	f := func(simID, deg int) Decider { return &stopAt{round: 0, out: []int{}} }
+	res, err := RunAsync(tab, g, f, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 0 {
+		t.Errorf("time = %d, want 0", res.Time)
+	}
+}
+
+// Property: for random graphs and random delay seeds, async and
+// sequential engines agree on every node's decision round.
+func TestAsyncAgreementProperty(t *testing.T) {
+	f := func(gseed, dseed int64) bool {
+		g := graph.RandomConnected(8, 4, gseed)
+		mk := func() Factory {
+			return func(simID, deg int) Decider { return &stopAt{round: 2 + deg%2, out: []int{}} }
+		}
+		t1 := view.NewTable()
+		a, err1 := RunSequential(t1, g, mk(), 50)
+		t2 := view.NewTable()
+		b, err2 := RunAsync(t2, g, mk(), 50, dseed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for v := range a.Rounds {
+			if a.Rounds[v] != b.Rounds[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

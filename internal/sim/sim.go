@@ -1,0 +1,302 @@
+// Package sim implements the LOCAL communication model of the paper:
+// communication proceeds in synchronous rounds, all nodes start
+// simultaneously, and in each round every node exchanges messages with
+// all of its neighbors and performs arbitrary local computation. The
+// information a node v acquires in r rounds is exactly its augmented
+// truncated view B^r(v), which is what the engine hands to the node's
+// decision program after every round (this is the COM(i) subroutine,
+// Algorithm 1, iterated).
+//
+// Two engines are provided and must be observationally identical:
+//
+//   - the concurrent engine runs one goroutine per node and moves view
+//     messages across buffered channels, one channel per directed edge —
+//     the natural Go realization of a message-passing network;
+//   - the sequential engine performs the same exchange in a deterministic
+//     loop and is used for cross-validation and large runs.
+//
+// A third mode, wire mode, serializes every message to a bit string and
+// decodes it on arrival, demonstrating that only B^i(v) information ever
+// crosses an edge; it is exponential in the round number and meant for
+// small-depth fidelity tests.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// Decider is a node program. After round r the engine calls Decide with
+// the node's exact knowledge B^r(v); the program returns its output (the
+// port sequence P(v) identifying the leader) and done = true when it has
+// decided. A decided node keeps participating in the exchange (the model
+// measures the time until all nodes have produced output).
+//
+// Programs must base decisions only on (r, b) and on data they were
+// constructed with (degree, advice): that is the anonymity discipline.
+type Decider interface {
+	Decide(r int, b *view.View) (output []int, done bool)
+}
+
+// Factory builds the decider for a node of the given degree. The sim id
+// is provided for harness bookkeeping only; anonymous algorithms must
+// ignore it (all deciders in internal/algorithms do).
+type Factory func(simID, deg int) Decider
+
+// Result reports the outcome of a run.
+type Result struct {
+	Outputs  [][]int // per node: the port sequence it output
+	Rounds   []int   // per node: the round in which it decided
+	Time     int     // max over Rounds — the paper's time measure
+	Messages int     // total messages exchanged (2·m per round run)
+	WireBits int     // total bits on the wire (wire mode only)
+}
+
+// DefaultMaxRounds bounds runaway programs relative to the graph size.
+func DefaultMaxRounds(g *graph.Graph) int { return 4*g.N() + 32 }
+
+// RunSequential executes the synchronous protocol deterministically.
+func RunSequential(tab *view.Table, g *graph.Graph, f Factory, maxRounds int) (*Result, error) {
+	n := g.N()
+	deciders := make([]Decider, n)
+	for v := 0; v < n; v++ {
+		deciders[v] = f(v, g.Deg(v))
+	}
+	res := &Result{Outputs: make([][]int, n), Rounds: make([]int, n)}
+	done := make([]bool, n)
+	remaining := n
+
+	cur := make([]*view.View, n)
+	for v := 0; v < n; v++ {
+		cur[v] = tab.Leaf(g.Deg(v))
+	}
+	for r := 0; ; r++ {
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			out, ok := deciders[v].Decide(r, cur[v])
+			if ok {
+				res.Outputs[v] = out
+				res.Rounds[v] = r
+				done[v] = true
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if r >= maxRounds {
+			return nil, fmt.Errorf("sim: %d nodes undecided after %d rounds", remaining, maxRounds)
+		}
+		next := make([]*view.View, n)
+		for v := 0; v < n; v++ {
+			edges := make([]view.Edge, g.Deg(v))
+			for p := 0; p < g.Deg(v); p++ {
+				h := g.At(v, p)
+				edges[p] = view.Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
+			}
+			next[v] = tab.Make(edges)
+		}
+		cur = next
+		res.Messages += 2 * g.M()
+	}
+	for _, r := range res.Rounds {
+		if r > res.Time {
+			res.Time = r
+		}
+	}
+	return res, nil
+}
+
+// message is what travels over a channel: the sender's port for the edge
+// plus either a view handle or its wire encoding.
+type message struct {
+	senderPort int
+	v          *view.View
+	wire       bits.String
+	isWire     bool
+}
+
+// RunConcurrent executes the protocol with one goroutine per node and one
+// buffered channel per directed edge. If wire is true, every message is
+// serialized to bits and re-interned on arrival.
+func RunConcurrent(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, wire bool) (*Result, error) {
+	n := g.N()
+	// out[v][p]: channel carrying messages from v through its port p.
+	// The receiving end is looked up via the edge's far half.
+	chans := make([][]chan message, n)
+	for v := 0; v < n; v++ {
+		chans[v] = make([]chan message, g.Deg(v))
+		for p := range chans[v] {
+			chans[v][p] = make(chan message, 1)
+		}
+	}
+	type nodeOut struct {
+		output   []int
+		round    int
+		err      error
+		sent     int
+		wireBits int
+	}
+	results := make([]nodeOut, n)
+	// stop[r] closed when some node fails; nodes also coordinate rounds
+	// through a barrier so that decided-but-participating semantics hold.
+	var wg sync.WaitGroup
+	barrier := newBarrier(n)
+	var failMu sync.Mutex
+	var failErr error
+
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			d := f(v, g.Deg(v))
+			b := tab.Leaf(g.Deg(v))
+			decided := false
+			for r := 0; ; r++ {
+				if !decided {
+					if r > maxRounds {
+						// All undecided nodes reach this branch in the
+						// same round (rounds are in lockstep), so the
+						// barrier below converges to "all done".
+						results[v].err = fmt.Errorf("sim: node undecided after %d rounds", maxRounds)
+						decided = true
+					} else if out, ok := d.Decide(r, b); ok {
+						results[v].output, results[v].round = out, r
+						decided = true
+					}
+				}
+				// Global consensus on whether everyone is decided: the
+				// barrier aggregates a boolean AND across nodes.
+				if allDone := barrier.sync(decided); allDone {
+					return
+				}
+				// Exchange: send B^r to all neighbors, receive theirs.
+				for p := 0; p < g.Deg(v); p++ {
+					m := message{senderPort: p}
+					if wire {
+						m.wire, m.isWire = view.Serialize(b), true
+						results[v].wireBits += m.wire.Len()
+					} else {
+						m.v = b
+					}
+					results[v].sent++
+					chans[v][p] <- m
+				}
+				edges := make([]view.Edge, g.Deg(v))
+				for p := 0; p < g.Deg(v); p++ {
+					h := g.At(v, p)
+					m := <-chans[h.To][h.RemotePort]
+					child := m.v
+					if m.isWire {
+						var err error
+						child, err = view.Deserialize(tab, m.wire)
+						if err != nil {
+							failMu.Lock()
+							if failErr == nil {
+								failErr = fmt.Errorf("sim: wire decode at node: %w", err)
+							}
+							failMu.Unlock()
+							child = tab.Leaf(0)
+						}
+					}
+					edges[p] = view.Edge{RemotePort: m.senderPort, Child: child}
+				}
+				b = tab.Make(edges)
+			}
+		}(v)
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	res := &Result{Outputs: make([][]int, n), Rounds: make([]int, n)}
+	for v, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		res.Outputs[v] = r.output
+		res.Rounds[v] = r.round
+		res.Messages += r.sent
+		res.WireBits += r.wireBits
+		if r.round > res.Time {
+			res.Time = r.round
+		}
+	}
+	return res, nil
+}
+
+// barrier is a reusable n-party barrier that also computes the AND of the
+// per-party flags, used to detect global termination.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	all     bool
+	gen     int
+	result  bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n, all: true}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// sync blocks until all n parties have called it for the current round and
+// returns the AND of their flags.
+func (b *barrier) sync(flag bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	if !flag {
+		b.all = false
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.result = b.all
+		b.arrived = 0
+		b.all = true
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.result
+}
+
+// Verify checks the leader-election correctness condition of the paper:
+// every node's output, followed from that node, must be a simple path in
+// g and all paths must end at a common node, the leader. It returns the
+// leader's sim id.
+func Verify(g *graph.Graph, outputs [][]int) (int, error) {
+	if len(outputs) != g.N() {
+		return -1, errors.New("sim: wrong number of outputs")
+	}
+	leader := -1
+	for v, ports := range outputs {
+		nodes, err := g.FollowPath(v, ports)
+		if err != nil {
+			return -1, fmt.Errorf("sim: node %d output invalid: %w", v, err)
+		}
+		if !graph.IsSimplePath(nodes) {
+			return -1, fmt.Errorf("sim: node %d output is not a simple path", v)
+		}
+		end := nodes[len(nodes)-1]
+		if leader == -1 {
+			leader = end
+		} else if end != leader {
+			return -1, fmt.Errorf("sim: node %d elected %d, others elected %d", v, end, leader)
+		}
+	}
+	return leader, nil
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// stopAt decides with a fixed output at a fixed round.
+type stopAt struct {
+	round int
+	out   []int
+	seen  []*view.View
+}
+
+func (s *stopAt) Decide(r int, b *view.View) ([]int, bool) {
+	s.seen = append(s.seen, b)
+	if r >= s.round {
+		return s.out, true
+	}
+	return nil, false
+}
+
+// TestKnowledgeIsExactlyBr checks the model guarantee: after r rounds a
+// node's knowledge equals B^r(v) computed directly from the graph.
+func TestKnowledgeIsExactlyBr(t *testing.T) {
+	g := graph.Lollipop(5, 3)
+	const rounds = 4
+	for _, engine := range []string{"seq", "conc", "wire"} {
+		tab := view.NewTable()
+		levels := view.Levels(tab, g, rounds)
+		deciders := make([]*stopAt, g.N())
+		f := func(simID, deg int) Decider {
+			d := &stopAt{round: rounds}
+			deciders[simID] = d
+			return d
+		}
+		var err error
+		switch engine {
+		case "seq":
+			_, err = RunSequential(tab, g, f, 100)
+		case "conc":
+			_, err = RunConcurrent(tab, g, f, 100, false)
+		case "wire":
+			_, err = RunConcurrent(tab, g, f, 100, true)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		for v, d := range deciders {
+			if len(d.seen) != rounds+1 {
+				t.Fatalf("%s: node %d saw %d views", engine, v, len(d.seen))
+			}
+			for r, b := range d.seen {
+				if b != levels[r][v] {
+					t.Errorf("%s: node %d round %d: knowledge != B^%d(v)", engine, v, r, r)
+				}
+			}
+		}
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	g := graph.RandomConnected(12, 6, 77)
+	mk := func() (Factory, *view.Table) {
+		tab := view.NewTable()
+		return func(simID, deg int) Decider {
+			return &stopAt{round: 3, out: []int{}}
+		}, tab
+	}
+	f1, t1 := mk()
+	r1, err := RunSequential(t1, g, f1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, t2 := mk()
+	r2, err := RunConcurrent(t2, g, f2, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time {
+		t.Errorf("times differ: %d vs %d", r1.Time, r2.Time)
+	}
+	for v := range r1.Rounds {
+		if r1.Rounds[v] != r2.Rounds[v] {
+			t.Errorf("node %d round differs", v)
+		}
+	}
+}
+
+// differentRounds makes nodes decide at different rounds, exercising the
+// decided-but-still-participating semantics.
+func TestNodesDecideAtDifferentRounds(t *testing.T) {
+	g := graph.Path(6)
+	for _, conc := range []bool{false, true} {
+		tab := view.NewTable()
+		f := func(simID, deg int) Decider {
+			// Degree-1 nodes (endpoints) stop at round 1, others at 4.
+			round := 4
+			if deg == 1 {
+				round = 1
+			}
+			return &stopAt{round: round, out: []int{}}
+		}
+		var res *Result
+		var err error
+		if conc {
+			res, err = RunConcurrent(tab, g, f, 100, false)
+		} else {
+			res, err = RunSequential(tab, g, f, 100)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Time != 4 {
+			t.Errorf("conc=%v: time = %d, want 4", conc, res.Time)
+		}
+		if res.Rounds[0] != 1 || res.Rounds[5] != 1 || res.Rounds[2] != 4 {
+			t.Errorf("conc=%v: per-node rounds wrong: %v", conc, res.Rounds)
+		}
+	}
+}
+
+type never struct{}
+
+func (never) Decide(r int, b *view.View) ([]int, bool) { return nil, false }
+
+func TestMaxRoundsGuard(t *testing.T) {
+	g := graph.Path(3)
+	tab := view.NewTable()
+	f := func(simID, deg int) Decider { return never{} }
+	if _, err := RunSequential(tab, g, f, 5); err == nil {
+		t.Error("sequential: expected max-rounds error")
+	}
+	tab2 := view.NewTable()
+	if _, err := RunConcurrent(tab2, g, f, 5, false); err == nil {
+		t.Error("concurrent: expected max-rounds error")
+	}
+}
+
+func TestDefaultMaxRounds(t *testing.T) {
+	g := graph.Path(4)
+	if DefaultMaxRounds(g) <= g.N() {
+		t.Error("default budget too small")
+	}
+}
+
+func TestVerifyAcceptsCommonLeader(t *testing.T) {
+	g := graph.Path(3) // 0-1-2, interior ports 0 left 1 right
+	outputs := [][]int{
+		{0, 0}, // node 0 -> node 1
+		{},     // node 1 is the leader
+		{0, 1}, // node 2 -> node 1
+	}
+	leader, err := Verify(g, outputs)
+	if err != nil || leader != 1 {
+		t.Errorf("leader = %d, err = %v", leader, err)
+	}
+}
+
+func TestVerifyRejectsDisagreement(t *testing.T) {
+	g := graph.Path(3)
+	outputs := [][]int{{}, {}, {}} // everyone elects themselves
+	if _, err := Verify(g, outputs); err == nil {
+		t.Error("expected disagreement error")
+	}
+}
+
+func TestVerifyRejectsNonPath(t *testing.T) {
+	g := graph.Path(3)
+	outputs := [][]int{{0, 1}, {}, {0, 1}} // node 0's arrival port is wrong
+	if _, err := Verify(g, outputs); err == nil {
+		t.Error("expected invalid-path error")
+	}
+}
+
+func TestVerifyRejectsNonSimple(t *testing.T) {
+	g := graph.Ring(4)
+	// Walk all the way around the ring back to start: not simple.
+	outputs := [][]int{
+		{0, 1, 0, 1, 0, 1, 0, 1},
+		{}, {}, {},
+	}
+	if _, err := Verify(g, outputs); err == nil {
+		t.Error("expected non-simple error")
+	}
+}
+
+func TestVerifyRejectsWrongCount(t *testing.T) {
+	if _, err := Verify(graph.Path(3), [][]int{{}}); err == nil {
+		t.Error("expected count error")
+	}
+}
+
+func TestWireModeMatchesHandleMode(t *testing.T) {
+	g := graph.Lollipop(4, 2)
+	run := func(wire bool) *Result {
+		tab := view.NewTable()
+		f := func(simID, deg int) Decider { return &stopAt{round: 2, out: []int{}} }
+		res, err := RunConcurrent(tab, g, f, 50, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.Time != b.Time {
+		t.Error("wire mode changes timing")
+	}
+}
+
+// Message accounting: both engines count 2·m messages per communication
+// round, and they agree with each other.
+func TestMessageAccounting(t *testing.T) {
+	g := graph.Lollipop(4, 3)
+	rounds := 3
+	f := func(simID, deg int) Decider { return &stopAt{round: rounds, out: []int{}} }
+	seq, err := RunSequential(view.NewTable(), g, f, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunConcurrent(view.NewTable(), g, f, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * g.M() * rounds
+	if seq.Messages != want {
+		t.Errorf("sequential messages %d, want %d", seq.Messages, want)
+	}
+	if conc.Messages != want {
+		t.Errorf("concurrent messages %d, want %d", conc.Messages, want)
+	}
+	if seq.WireBits != 0 || conc.WireBits != 0 {
+		t.Error("wire bits should be zero off wire mode")
+	}
+	wire, err := RunConcurrent(view.NewTable(), g, f, 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.WireBits <= 0 {
+		t.Error("wire mode should count bits")
+	}
+}

@@ -1,0 +1,119 @@
+package trie
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tokens serializes t as a self-delimiting preorder integer stream:
+// a leaf is the single token 0; an internal node is 1, A, B followed by
+// the streams of its two children. Combined with the doubling code of
+// internal/bits this realizes the paper's bin(Tr) within the O(n log n)
+// budget of Proposition 3.2.
+func (t *Trie) Tokens() []int {
+	var out []int
+	var walk func(t *Trie)
+	walk = func(t *Trie) {
+		if t.IsLeaf() {
+			out = append(out, 0)
+			return
+		}
+		out = append(out, 1, t.A, t.B)
+		walk(t.Left)
+		walk(t.Right)
+	}
+	walk(t)
+	return out
+}
+
+// FromTokens parses a trie from the front of a token stream, returning
+// the trie and the number of tokens consumed.
+func FromTokens(tokens []int) (*Trie, int, error) {
+	pos := 0
+	var parse func() (*Trie, error)
+	parse = func() (*Trie, error) {
+		if pos >= len(tokens) {
+			return nil, errors.New("trie: truncated token stream")
+		}
+		tag := tokens[pos]
+		pos++
+		switch tag {
+		case 0:
+			return NewLeaf(), nil
+		case 1:
+			if pos+1 >= len(tokens) {
+				return nil, errors.New("trie: truncated query")
+			}
+			a, b := tokens[pos], tokens[pos+1]
+			pos += 2
+			left, err := parse()
+			if err != nil {
+				return nil, err
+			}
+			right, err := parse()
+			if err != nil {
+				return nil, err
+			}
+			return NewInternal(a, b, left, right), nil
+		default:
+			return nil, fmt.Errorf("trie: invalid tag %d", tag)
+		}
+	}
+	t, err := parse()
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, pos, nil
+}
+
+// TokensE2 serializes a nested list E2 as a flat integer stream:
+// the number of levels, then for each level its depth, its number of
+// couples, and for each couple the integer J followed by the inline trie
+// stream. This realizes bin(E2) within the budget of Proposition 3.4.
+func (e E2) TokensE2() []int {
+	out := []int{len(e)}
+	for _, l := range e {
+		out = append(out, l.Depth, len(l.Couples))
+		for _, c := range l.Couples {
+			out = append(out, c.J)
+			out = append(out, c.T.Tokens()...)
+		}
+	}
+	return out
+}
+
+// E2FromTokens inverts TokensE2.
+func E2FromTokens(tokens []int) (E2, error) {
+	if len(tokens) == 0 {
+		return nil, errors.New("trie: empty E2 stream")
+	}
+	nLevels := tokens[0]
+	pos := 1
+	var e2 E2
+	for i := 0; i < nLevels; i++ {
+		if pos+1 >= len(tokens) {
+			return nil, errors.New("trie: truncated E2 level header")
+		}
+		depth, nCouples := tokens[pos], tokens[pos+1]
+		pos += 2
+		level := LevelList{Depth: depth}
+		for c := 0; c < nCouples; c++ {
+			if pos >= len(tokens) {
+				return nil, errors.New("trie: truncated E2 couple")
+			}
+			j := tokens[pos]
+			pos++
+			t, used, err := FromTokens(tokens[pos:])
+			if err != nil {
+				return nil, err
+			}
+			pos += used
+			level.Couples = append(level.Couples, Couple{J: j, T: t})
+		}
+		e2 = append(e2, level)
+	}
+	if pos != len(tokens) {
+		return nil, fmt.Errorf("trie: %d trailing E2 tokens", len(tokens)-pos)
+	}
+	return e2, nil
+}

@@ -1,0 +1,318 @@
+// Package trie implements the discrimination tries at the heart of the
+// paper's advice construction (Section 3): BuildTrie (Algorithm 4),
+// LocalLabel (Algorithm 2) and RetrieveLabel (Algorithm 3).
+//
+// A trie is a rooted binary tree whose leaves correspond to objects
+// (augmented truncated views) and whose internal nodes carry yes/no
+// queries (a, b) about these objects. Descending left means "no"/"left
+// condition holds"; the object at a leaf is identified by the unique
+// sequence of answers on its branch. Tries over depth-1 views query the
+// actual binary representation bin(B^1) — query (0, t) asks "is the
+// representation shorter than t bits?" and (1, j) asks "is the j-th bit
+// 0?". Tries over deeper views query previously assigned temporary
+// labels — query (i, y) at depth l asks "is the label of the depth-(l-1)
+// view behind port i different from y?".
+package trie
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/view"
+)
+
+// Trie is a node of a discrimination trie. Internal nodes have both
+// children and a query (A, B); leaves have neither.
+type Trie struct {
+	A, B        int
+	Left, Right *Trie
+	leaves      int
+}
+
+// NewLeaf returns a single-leaf trie (the paper's "single node labeled (0)").
+func NewLeaf() *Trie { return &Trie{leaves: 1} }
+
+// NewInternal returns an internal trie node with the given query and children.
+func NewInternal(a, b int, left, right *Trie) *Trie {
+	if left == nil || right == nil {
+		panic("trie: internal node requires two children")
+	}
+	return &Trie{A: a, B: b, Left: left, Right: right, leaves: left.leaves + right.leaves}
+}
+
+// IsLeaf reports whether t is a leaf.
+func (t *Trie) IsLeaf() bool { return t.Left == nil }
+
+// Leaves returns the number of leaves of t.
+func (t *Trie) Leaves() int { return t.leaves }
+
+// Size returns the number of nodes of t (2·Leaves−1 for the tries built here).
+func (t *Trie) Size() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return 1 + t.Left.Size() + t.Right.Size()
+}
+
+// Couple is one entry (j, T_j) of a per-depth list L(i): the trie T_j
+// discriminates between the depth-i views whose depth-(i-1) truncation
+// received temporary label j.
+type Couple struct {
+	J int
+	T *Trie
+}
+
+// LevelList is one entry (i, L(i)) of the nested list E2.
+type LevelList struct {
+	Depth   int
+	Couples []Couple
+}
+
+// E2 is the nested list built by ComputeAdvice: one LevelList per depth
+// from 2 up to the election index. E2 for depth 1 is empty.
+type E2 []LevelList
+
+// level returns the couple list for the given depth, or nil.
+func (e E2) level(depth int) []Couple {
+	for _, l := range e {
+		if l.Depth == depth {
+			return l.Couples
+		}
+	}
+	return nil
+}
+
+// find returns the trie of the couple with first term j, or nil.
+func findCouple(cs []Couple, j int) *Trie {
+	for _, c := range cs {
+		if c.J == j {
+			return c.T
+		}
+	}
+	return nil
+}
+
+// Labeler evaluates LocalLabel and RetrieveLabel against a fixed view
+// table, caching depth-1 encodings and retrieved labels. The RetrieveLabel
+// memoization across growing E2 prefixes is sound because, per Claim 3.7
+// of the paper, the label of a depth-k view is identical under every
+// E2(i) with i >= k; callers must only query views whose depth is covered
+// by the E2 they pass (ComputeAdvice does).
+type Labeler struct {
+	Tab  *view.Table
+	enc1 map[*view.View]bits.String
+	memo map[*view.View]int
+}
+
+// NewLabeler returns a Labeler over the given table.
+func NewLabeler(tab *view.Table) *Labeler {
+	return &Labeler{
+		Tab:  tab,
+		enc1: make(map[*view.View]bits.String),
+		memo: make(map[*view.View]int),
+	}
+}
+
+// Encode1 returns the cached bin(B^1) encoding of a depth-1 view.
+func (lb *Labeler) Encode1(v *view.View) bits.String {
+	if s, ok := lb.enc1[v]; ok {
+		return s
+	}
+	s := view.EncodeDepth1(v)
+	lb.enc1[v] = s
+	return s
+}
+
+// LocalLabel is Algorithm 2 of the paper. B is an augmented truncated
+// view, x the list of temporary labels previously assigned to the
+// children of B's root (nil at depth 1), and t a trie discriminating the
+// candidate set containing B. It returns a 1-based leaf rank.
+func (lb *Labeler) LocalLabel(b *view.View, x []int, t *Trie) int {
+	if t.IsLeaf() {
+		return 1
+	}
+	left := false
+	if len(x) == 0 {
+		enc := lb.Encode1(b)
+		switch t.A {
+		case 0:
+			if enc.Len() < t.B {
+				left = true
+			}
+		case 1:
+			if !enc.Bit1(t.B) {
+				left = true
+			}
+		default:
+			panic(fmt.Sprintf("trie: invalid depth-1 query kind %d", t.A))
+		}
+	} else {
+		if t.A < 0 || t.A >= len(x) {
+			panic(fmt.Sprintf("trie: query port %d out of range for %d children", t.A, len(x)))
+		}
+		if x[t.A] != t.B {
+			left = true
+		}
+	}
+	if left {
+		return lb.LocalLabel(b, x, t.Left)
+	}
+	return t.Left.Leaves() + lb.LocalLabel(b, x, t.Right)
+}
+
+// RetrieveLabel is Algorithm 3 of the paper: it assigns the temporary
+// integer label of the view b using the depth-1 trie e1 and the nested
+// list e2. Labels of distinct views at the same depth are distinct, and
+// lie in {1, ..., #views at that depth} (Claims 3.4 and 3.7).
+func (lb *Labeler) RetrieveLabel(b *view.View, e1 *Trie, e2 E2) int {
+	if v, ok := lb.memo[b]; ok {
+		return v
+	}
+	var out int
+	if b.Depth == 1 {
+		out = lb.LocalLabel(b, nil, e1)
+	} else if b.Depth < 1 {
+		panic("trie: RetrieveLabel of depth-0 view")
+	} else {
+		x := make([]int, b.Deg)
+		for j, e := range b.Edges {
+			x[j] = lb.RetrieveLabel(e.Child, e1, e2)
+		}
+		label := lb.RetrieveLabel(lb.Tab.Truncate(b), e1, e2)
+		cs := e2.level(b.Depth)
+		sum := 0
+		for i := 1; i <= label; i++ {
+			if t := findCouple(cs, i); t != nil {
+				if i < label {
+					sum += t.Leaves()
+				} else {
+					sum += lb.LocalLabel(b, x, t)
+				}
+			} else {
+				sum++
+			}
+		}
+		out = sum
+	}
+	lb.memo[b] = out
+	return out
+}
+
+// BuildTrie is Algorithm 4 of the paper. s is a non-empty set of distinct
+// augmented truncated views at the same positive depth; e1 is nil exactly
+// in the depth-1 bootstrap case (then queries inspect binary
+// representations); otherwise queries use the temporary labels induced by
+// e1 and e2. The returned trie has exactly len(s) leaves.
+func (lb *Labeler) BuildTrie(s []*view.View, e1 *Trie, e2 E2) *Trie {
+	if len(s) == 0 {
+		panic("trie: BuildTrie of empty set")
+	}
+	if len(s) == 1 {
+		return NewLeaf()
+	}
+	var sPrime []*view.View
+	var a, bq int
+	if e1 == nil {
+		// Depth-1 bootstrap: discriminate on the actual encodings.
+		maxLen := 0
+		for _, v := range s {
+			if l := lb.Encode1(v).Len(); l > maxLen {
+				maxLen = l
+			}
+		}
+		allMax := true
+		for _, v := range s {
+			if lb.Encode1(v).Len() < maxLen {
+				allMax = false
+				break
+			}
+		}
+		if !allMax {
+			a, bq = 0, maxLen
+			for _, v := range s {
+				if lb.Encode1(v).Len() < maxLen {
+					sPrime = append(sPrime, v)
+				}
+			}
+		} else {
+			j := 0
+			for j = 1; j <= maxLen; j++ {
+				first := lb.Encode1(s[0]).Bit1(j)
+				diff := false
+				for _, v := range s[1:] {
+					if lb.Encode1(v).Bit1(j) != first {
+						diff = true
+						break
+					}
+				}
+				if diff {
+					break
+				}
+			}
+			if j > maxLen {
+				panic("trie: BuildTrie called with duplicate depth-1 views")
+			}
+			a, bq = 1, j
+			for _, v := range s {
+				if !lb.Encode1(v).Bit1(j) {
+					sPrime = append(sPrime, v)
+				}
+			}
+		}
+	} else {
+		// Deeper levels: all views of s share the same truncation; find
+		// the discriminatory index of the two canonically smallest views.
+		u, v := lb.twoSmallest(s)
+		idx := -1
+		for i := range u.Edges {
+			if u.Edges[i].Child != v.Edges[i].Child {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("trie: BuildTrie called with duplicate views")
+		}
+		bdisc := u.Edges[idx].Child
+		if lb.Tab.Compare(v.Edges[idx].Child, bdisc) < 0 {
+			bdisc = v.Edges[idx].Child
+		}
+		a, bq = idx, lb.RetrieveLabel(bdisc, e1, e2)
+		for _, w := range s {
+			if w.Edges[idx].Child != bdisc {
+				sPrime = append(sPrime, w)
+			}
+		}
+	}
+	rest := make([]*view.View, 0, len(s)-len(sPrime))
+	inPrime := make(map[*view.View]bool, len(sPrime))
+	for _, v := range sPrime {
+		inPrime[v] = true
+	}
+	for _, v := range s {
+		if !inPrime[v] {
+			rest = append(rest, v)
+		}
+	}
+	if len(sPrime) == 0 || len(rest) == 0 {
+		panic("trie: BuildTrie split produced an empty side")
+	}
+	return NewInternal(a, bq, lb.BuildTrie(sPrime, e1, e2), lb.BuildTrie(rest, e1, e2))
+}
+
+// twoSmallest returns the two canonically smallest views of s (|s| >= 2).
+func (lb *Labeler) twoSmallest(s []*view.View) (*view.View, *view.View) {
+	min1, min2 := s[0], s[1]
+	if lb.Tab.Compare(min2, min1) < 0 {
+		min1, min2 = min2, min1
+	}
+	for _, v := range s[2:] {
+		switch {
+		case lb.Tab.Compare(v, min1) < 0:
+			min1, min2 = v, min1
+		case lb.Tab.Compare(v, min2) < 0:
+			min2 = v
+		}
+	}
+	return min1, min2
+}

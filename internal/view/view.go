@@ -1,0 +1,402 @@
+// Package view implements augmented truncated views B^l(v), the central
+// notion of anonymous network computing (Yamashita & Kameda), exactly as
+// used by the paper.
+//
+// The truncated view V^l(v) is the port-labeled tree of all walks of
+// length at most l starting at v; the augmented truncated view B^l(v) is
+// V^l(v) with every leaf labeled by its degree in the graph. B^l
+// materialized as a tree has size Θ(Δ^l), but a graph on n nodes has at
+// most n distinct views at each depth, so this package hash-conses views:
+// a View is an immutable interned value, structural equality is pointer
+// equality, and B^l(v) is a DAG of at most n·l interned nodes.
+//
+// A Table owns the interning state; every View belongs to exactly one
+// Table and views from different tables must not be mixed (algorithms in
+// this repository thread a single Table through oracle and simulator).
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
+
+// Edge is one port of the root of a view: the port number at the far end
+// of the edge and the child view (the far endpoint's view one level
+// shallower). For depth-0 views there are no edges.
+type Edge struct {
+	RemotePort int
+	Child      *View
+}
+
+// View is an interned augmented truncated view. The root degree is Deg;
+// Edges has length Deg and is indexed by the local port number. Depth 0
+// views are leaves carrying only their degree (the "augmented" labeling).
+type View struct {
+	Depth int
+	Deg   int
+	Edges []Edge
+	id    uint64 // interning identity, unique within a Table
+}
+
+// ID returns the table-local interning identity of v. Views are equal iff
+// their pointers (equivalently IDs within one table) are equal.
+func (v *View) ID() uint64 { return v.id }
+
+// Table interns views. It is safe for concurrent use, so the goroutine
+// simulator can intern received views in parallel.
+type Table struct {
+	mu      sync.Mutex
+	nextID  uint64
+	interns map[string]*View
+	trunc   map[*View]*View
+	cmp     map[[2]*View]int8
+}
+
+// NewTable returns an empty interning table.
+func NewTable() *Table {
+	return &Table{
+		interns: make(map[string]*View),
+		trunc:   make(map[*View]*View),
+		cmp:     make(map[[2]*View]int8),
+	}
+}
+
+// Size returns the number of distinct views interned so far.
+func (t *Table) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.interns)
+}
+
+// Leaf interns the depth-0 view of a node of the given degree.
+func (t *Table) Leaf(deg int) *View {
+	if deg < 0 {
+		panic("view: negative degree")
+	}
+	return t.intern(0, deg, nil)
+}
+
+// Make interns the view of depth d+1 whose root has the given edges; the
+// children must all be interned in this table and have equal depth d.
+func (t *Table) Make(edges []Edge) *View {
+	if len(edges) == 0 {
+		panic("view: Make requires at least one edge; use Leaf for isolated roots")
+	}
+	d := edges[0].Child.Depth
+	for _, e := range edges {
+		if e.Child == nil {
+			panic("view: nil child")
+		}
+		if e.Child.Depth != d {
+			panic("view: children of unequal depth")
+		}
+	}
+	return t.intern(d+1, len(edges), edges)
+}
+
+func (t *Table) intern(depth, deg int, edges []Edge) *View {
+	key := internKey(depth, deg, edges)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.interns[key]; ok {
+		return v
+	}
+	es := make([]Edge, len(edges))
+	copy(es, edges)
+	v := &View{Depth: depth, Deg: deg, Edges: es, id: t.nextID}
+	t.nextID++
+	t.interns[key] = v
+	return v
+}
+
+func internKey(depth, deg int, edges []Edge) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:%d", depth, deg)
+	for _, e := range edges {
+		fmt.Fprintf(&sb, ":%d.%d", e.RemotePort, e.Child.id)
+	}
+	return sb.String()
+}
+
+// Truncate returns the view one level shallower than v, i.e. B^{d-1} of
+// the same root. It panics for depth-0 views. Results are memoized.
+func (t *Table) Truncate(v *View) *View {
+	if v.Depth == 0 {
+		panic("view: cannot truncate a depth-0 view")
+	}
+	t.mu.Lock()
+	cached, ok := t.trunc[v]
+	t.mu.Unlock()
+	if ok {
+		return cached
+	}
+	var out *View
+	if v.Depth == 1 {
+		out = t.Leaf(v.Deg)
+	} else {
+		edges := make([]Edge, len(v.Edges))
+		for i, e := range v.Edges {
+			edges[i] = Edge{RemotePort: e.RemotePort, Child: t.Truncate(e.Child)}
+		}
+		out = t.Make(edges)
+	}
+	t.mu.Lock()
+	t.trunc[v] = out
+	t.mu.Unlock()
+	return out
+}
+
+// TruncateTo truncates v down to the given depth (<= v.Depth).
+func (t *Table) TruncateTo(v *View, depth int) *View {
+	if depth > v.Depth || depth < 0 {
+		panic(fmt.Sprintf("view: cannot truncate depth-%d view to depth %d", v.Depth, depth))
+	}
+	for v.Depth > depth {
+		v = t.Truncate(v)
+	}
+	return v
+}
+
+// Compare defines the canonical total order on equal-depth views that
+// this repository uses wherever the paper orders views "by the
+// lexicographic order of their binary representations": first by degree,
+// then port by port by remote port number, then recursively by child
+// views. Any fixed total order shared by oracle and nodes preserves the
+// paper's proofs; see DESIGN.md. Results are memoized per view pair.
+func (t *Table) Compare(a, b *View) int {
+	if a == b {
+		return 0
+	}
+	if a.Depth != b.Depth {
+		// Views of different depths never need ordering in the paper's
+		// algorithms; order by depth for totality.
+		if a.Depth < b.Depth {
+			return -1
+		}
+		return 1
+	}
+	t.mu.Lock()
+	if c, ok := t.cmp[[2]*View{a, b}]; ok {
+		t.mu.Unlock()
+		return int(c)
+	}
+	t.mu.Unlock()
+	r := t.compareUncached(a, b)
+	t.mu.Lock()
+	t.cmp[[2]*View{a, b}] = int8(r)
+	t.cmp[[2]*View{b, a}] = int8(-r)
+	t.mu.Unlock()
+	return r
+}
+
+func (t *Table) compareUncached(a, b *View) int {
+	if a.Deg != b.Deg {
+		if a.Deg < b.Deg {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.Edges {
+		ea, eb := a.Edges[i], b.Edges[i]
+		if ea.RemotePort != eb.RemotePort {
+			if ea.RemotePort < eb.RemotePort {
+				return -1
+			}
+			return 1
+		}
+	}
+	for i := range a.Edges {
+		if c := t.Compare(a.Edges[i].Child, b.Edges[i].Child); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Min returns the minimum view of a non-empty slice under Compare.
+func (t *Table) Min(vs []*View) *View {
+	if len(vs) == 0 {
+		panic("view: Min of empty slice")
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if t.Compare(v, m) < 0 {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sort sorts views in place under Compare.
+func (t *Table) Sort(vs []*View) {
+	sort.Slice(vs, func(i, j int) bool { return t.Compare(vs[i], vs[j]) < 0 })
+}
+
+// EncodeDepth1 returns the paper's exact binary encoding bin(B^1(v)) of a
+// depth-1 view (Section 3): the view is the list
+// ((0, a_0, b_0), ..., (k-1, a_{k-1}, b_{k-1})) where a_j is the remote
+// port of port j and b_j the degree of the neighbor behind port j, and
+// the encoding is Concat(Concat(bin(0), bin(a_0), bin(b_0)), ...). The
+// depth-1 trie queries of BuildTrie inspect lengths and individual bits
+// of this encoding, so it is materialized exactly.
+func EncodeDepth1(v *View) bits.String {
+	if v.Depth != 1 {
+		panic(fmt.Sprintf("view: EncodeDepth1 of depth-%d view", v.Depth))
+	}
+	parts := make([]bits.String, v.Deg)
+	for j, e := range v.Edges {
+		parts[j] = bits.ConcatInts(j, e.RemotePort, e.Child.Deg)
+	}
+	return bits.Concat(parts...)
+}
+
+// Levels computes, for every node of g, the interned views B^0 .. B^depth.
+// The result is indexed levels[l][v].
+func Levels(t *Table, g *graph.Graph, depth int) [][]*View {
+	n := g.N()
+	levels := make([][]*View, depth+1)
+	cur := make([]*View, n)
+	for v := 0; v < n; v++ {
+		cur[v] = t.Leaf(g.Deg(v))
+	}
+	levels[0] = cur
+	for l := 1; l <= depth; l++ {
+		next := make([]*View, n)
+		prev := levels[l-1]
+		for v := 0; v < n; v++ {
+			edges := make([]Edge, g.Deg(v))
+			for p := 0; p < g.Deg(v); p++ {
+				h := g.At(v, p)
+				edges[p] = Edge{RemotePort: h.RemotePort, Child: prev[h.To]}
+			}
+			next[v] = t.Make(edges)
+		}
+		levels[l] = next
+	}
+	return levels
+}
+
+// Of computes B^depth(v) for a single node.
+func Of(t *Table, g *graph.Graph, v, depth int) *View {
+	return Levels(t, g, depth)[depth][v]
+}
+
+// distinctCount returns the number of distinct views in vs.
+func distinctCount(vs []*View) int {
+	set := make(map[*View]bool, len(vs))
+	for _, v := range vs {
+		set[v] = true
+	}
+	return len(set)
+}
+
+// ElectionIndex returns the election index φ(g): the smallest l such that
+// the augmented truncated views at depth l of all nodes are distinct
+// (Proposition 2.1), together with feasible = true; or (0, false) if g is
+// infeasible, i.e. the view partition stabilizes before becoming discrete
+// so that some two nodes have equal views at every depth.
+//
+// Because B^{l+1} equality refines B^l equality, the per-level count of
+// distinct views is non-decreasing, and the first repeat means the
+// partition is stable forever.
+func ElectionIndex(t *Table, g *graph.Graph) (phi int, feasible bool) {
+	n := g.N()
+	if n == 1 {
+		return 0, true
+	}
+	cur := make([]*View, n)
+	for v := 0; v < n; v++ {
+		cur[v] = t.Leaf(g.Deg(v))
+	}
+	count := distinctCount(cur)
+	for l := 1; ; l++ {
+		next := make([]*View, n)
+		for v := 0; v < n; v++ {
+			edges := make([]Edge, g.Deg(v))
+			for p := 0; p < g.Deg(v); p++ {
+				h := g.At(v, p)
+				edges[p] = Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
+			}
+			next[v] = t.Make(edges)
+		}
+		c := distinctCount(next)
+		if c == n {
+			return l, true
+		}
+		if c == count {
+			return 0, false
+		}
+		count = c
+		cur = next
+	}
+}
+
+// Feasible reports whether leader election is possible in g when nodes
+// know the map (all views distinct at some depth).
+func Feasible(t *Table, g *graph.Graph) bool {
+	_, ok := ElectionIndex(t, g)
+	return ok
+}
+
+// Classes returns, for each node, the index of its view-equivalence class
+// at the given depth, with classes numbered by first occurrence.
+func Classes(t *Table, g *graph.Graph, depth int) []int {
+	vs := Levels(t, g, depth)[depth]
+	idx := make(map[*View]int)
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		c, ok := idx[v]
+		if !ok {
+			c = len(idx)
+			idx[v] = c
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// StablePartition iterates view refinement until the partition of nodes
+// into view classes stabilizes, returning the per-node class indices and
+// the depth at which stability was reached. The size of the partition is
+// the number of distinct infinite views V(v) (Yamashita–Kameda): the
+// graph is feasible iff the stable partition is discrete.
+func StablePartition(t *Table, g *graph.Graph) (classes []int, depth int) {
+	n := g.N()
+	cur := make([]*View, n)
+	for v := 0; v < n; v++ {
+		cur[v] = t.Leaf(g.Deg(v))
+	}
+	count := distinctCount(cur)
+	for l := 1; ; l++ {
+		next := make([]*View, n)
+		for v := 0; v < n; v++ {
+			edges := make([]Edge, g.Deg(v))
+			for p := 0; p < g.Deg(v); p++ {
+				h := g.At(v, p)
+				edges[p] = Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
+			}
+			next[v] = t.Make(edges)
+		}
+		c := distinctCount(next)
+		if c == count {
+			idx := make(map[*View]int)
+			out := make([]int, n)
+			for i, v := range cur {
+				cl, ok := idx[v]
+				if !ok {
+					cl = len(idx)
+					idx[v] = cl
+				}
+				out[i] = cl
+			}
+			return out, l - 1
+		}
+		count = c
+		cur = next
+	}
+}

@@ -1,0 +1,184 @@
+package view
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// LevelSets returns, for j = 0..root.Depth, the set of distinct view
+// values occurring at depth j of the (conceptually exponential) view tree
+// rooted at root. Because views are interned, each level is a set of at
+// most n pointers and the whole computation touches only the DAG.
+//
+// A tree node at depth j of B^K(u) is the endpoint of a length-j walk from
+// u and carries that endpoint's view at depth K-j.
+func LevelSets(root *View) [][]*View {
+	levels := make([][]*View, root.Depth+1)
+	cur := map[*View]bool{root: true}
+	for j := 0; ; j++ {
+		set := make([]*View, 0, len(cur))
+		for v := range cur {
+			set = append(set, v)
+		}
+		// Deterministic order by interning id.
+		for i := 1; i < len(set); i++ {
+			for k := i; k > 0 && set[k].id < set[k-1].id; k-- {
+				set[k], set[k-1] = set[k-1], set[k]
+			}
+		}
+		levels[j] = set
+		if j == root.Depth {
+			break
+		}
+		next := make(map[*View]bool)
+		for v := range cur {
+			for _, e := range v.Edges {
+				next[e.Child] = true
+			}
+		}
+		cur = next
+	}
+	return levels
+}
+
+// PathLess compares two flattened port sequences (p1, q1, p2, q2, ...)
+// lexicographically; shorter prefixes order first.
+func PathLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// LexShortestPathTo walks the view DAG of root breadth-first and returns
+// the lexicographically smallest port sequence (p1, q1, ..., pk, qk) of
+// minimum length k <= maxDepth leading from the root to an occurrence
+// whose view truncated to depth x equals target. It returns nil if no
+// occurrence exists within maxDepth levels. Occurrences at level j are
+// only readable when root.Depth - j >= x; callers choose maxDepth
+// accordingly.
+func (t *Table) LexShortestPathTo(root *View, target *View, x, maxDepth int) []int {
+	type entry struct {
+		v    *View
+		path []int
+	}
+	cur := []entry{{v: root, path: []int{}}}
+	for j := 0; j <= maxDepth; j++ {
+		if root.Depth-j < x {
+			return nil
+		}
+		// Entries are maintained with lexicographically minimal paths.
+		for _, e := range cur {
+			if t.TruncateTo(e.v, x) == target {
+				return e.path
+			}
+		}
+		if j == maxDepth {
+			return nil
+		}
+		nextBest := make(map[*View][]int)
+		var order []*View
+		for _, e := range cur {
+			for p, edge := range e.v.Edges {
+				np := make([]int, 0, len(e.path)+2)
+				np = append(np, e.path...)
+				np = append(np, p, edge.RemotePort)
+				if best, ok := nextBest[edge.Child]; !ok {
+					nextBest[edge.Child] = np
+					order = append(order, edge.Child)
+				} else if PathLess(np, best) {
+					nextBest[edge.Child] = np
+				}
+			}
+		}
+		next := make([]entry, 0, len(order))
+		for _, v := range order {
+			next = append(next, entry{v: v, path: nextBest[v]})
+		}
+		// Deterministic processing order: by path.
+		for i := 1; i < len(next); i++ {
+			for k := i; k > 0 && PathLess(next[k].path, next[k-1].path); k-- {
+				next[k], next[k-1] = next[k-1], next[k]
+			}
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Serialize encodes a view as a self-contained bit string: the token
+// stream (depth, then preorder: deg at each node, preceded by the remote
+// port for non-root nodes), flattened with the doubling code. The
+// materialized size is exponential in depth — this is the honest "wire
+// format" a node would send in the LOCAL model, used by the simulator's
+// wire mode and its tests at small depths.
+func Serialize(v *View) bits.String {
+	var tokens []int
+	tokens = append(tokens, v.Depth)
+	var walk func(v *View)
+	walk = func(v *View) {
+		tokens = append(tokens, v.Deg)
+		if v.Depth == 0 {
+			return
+		}
+		for _, e := range v.Edges {
+			tokens = append(tokens, e.RemotePort)
+			walk(e.Child)
+		}
+	}
+	walk(v)
+	return bits.ConcatInts(tokens...)
+}
+
+// Deserialize decodes a view serialized by Serialize, interning it into t.
+func Deserialize(t *Table, s bits.String) (*View, error) {
+	tokens, err := bits.DecodeInts(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(tokens) == 0 {
+		return nil, errors.New("view: empty token stream")
+	}
+	depth := tokens[0]
+	pos := 1
+	var parse func(depth int) (*View, error)
+	parse = func(depth int) (*View, error) {
+		if pos >= len(tokens) {
+			return nil, errors.New("view: truncated token stream")
+		}
+		deg := tokens[pos]
+		pos++
+		if depth == 0 {
+			return t.Leaf(deg), nil
+		}
+		edges := make([]Edge, deg)
+		for i := 0; i < deg; i++ {
+			if pos >= len(tokens) {
+				return nil, errors.New("view: truncated token stream")
+			}
+			rp := tokens[pos]
+			pos++
+			child, err := parse(depth - 1)
+			if err != nil {
+				return nil, err
+			}
+			edges[i] = Edge{RemotePort: rp, Child: child}
+		}
+		if deg == 0 {
+			return nil, errors.New("view: zero-degree internal node")
+		}
+		return t.Make(edges), nil
+	}
+	v, err := parse(depth)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(tokens) {
+		return nil, fmt.Errorf("view: %d trailing tokens", len(tokens)-pos)
+	}
+	return v, nil
+}

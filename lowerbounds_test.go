@@ -1,0 +1,122 @@
+package election
+
+// Operational lower-bound demonstrations: the paper's Claims 3.9 and
+// 3.11 and Proposition 4.1 argue that one piece of advice cannot serve
+// two different members of the adversarial families, because nodes with
+// coinciding views output identical port sequences. These tests run the
+// actual Elect algorithm with one member's advice on another member and
+// confirm the predicted failure — while the advice keeps working on its
+// own graph.
+
+import "testing"
+
+// Claim 3.9: the same advice cannot elect in two different members of
+// G_k within time 1.
+func TestGkCrossAdviceFails(t *testing.T) {
+	k, x := 5, 3
+	s := NewSystem()
+	g1 := BuildGkMember(k, x, []int{0, 1, 2, 3, 4})
+	g2 := BuildGkMember(k, x, []int{0, 2, 1, 4, 3})
+	_, adv1, err := s.ComputeAdvice(g1.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The advice works on its own graph, in time phi = 1.
+	res, err := s.RunElect(g1.G, adv1, Options{})
+	if err != nil {
+		t.Fatalf("advice must work on its own graph: %v", err)
+	}
+	if res.Time != 1 {
+		t.Errorf("time %d, want 1", res.Time)
+	}
+	// And must fail on the other member.
+	if _, err := s.RunElect(g2.G, adv1, Options{}); err == nil {
+		t.Error("Claim 3.9 violated: one advice elected in two distinct G_k members")
+	}
+}
+
+// Claim 3.11: the same advice cannot elect in two necklaces with
+// different codes within time phi.
+func TestNecklaceCrossAdviceFails(t *testing.T) {
+	k, x, phi := 4, 3, 2
+	s := NewSystem()
+	n1 := BuildNecklace(k, x, phi, NecklaceCode(k, x, 0))
+	n2 := BuildNecklace(k, x, phi, NecklaceCode(k, x, 3))
+	_, adv1, err := s.ComputeAdvice(n1.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunElect(n1.G, adv1, Options{})
+	if err != nil {
+		t.Fatalf("advice must work on its own necklace: %v", err)
+	}
+	if res.Time != phi {
+		t.Errorf("time %d, want %d", res.Time, phi)
+	}
+	if _, err := s.RunElect(n2.G, adv1, Options{}); err == nil {
+		t.Error("Claim 3.11 violated: one advice elected in two necklaces")
+	}
+}
+
+// Every pair of distinct G_k members requires distinct advice — the
+// counting step that turns Claim 3.9 into the Ω(n log log n) bound.
+func TestGkPairwiseDistinctAdviceRequired(t *testing.T) {
+	k, x := 4, 3
+	perms := [][]int{
+		{0, 1, 2, 3},
+		{0, 2, 1, 3},
+		{0, 1, 3, 2},
+		{0, 3, 2, 1},
+	}
+	s := NewSystem()
+	for i, pa := range perms {
+		ga := BuildGkMember(k, x, pa)
+		_, adv, err := s.ComputeAdvice(ga.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, pb := range perms {
+			gb := BuildGkMember(k, x, pb)
+			_, errRun := s.RunElect(gb.G, adv, Options{})
+			if i == j && errRun != nil {
+				t.Errorf("advice %d failed on its own graph: %v", i, errRun)
+			}
+			if i != j && errRun == nil {
+				t.Errorf("advice %d succeeded on foreign member %d", i, j)
+			}
+		}
+	}
+}
+
+// Proposition 4.1 operationally: the advice of a hairy ring H, applied
+// to the composed graph built from H's own stretch, fails — the two foci
+// mimic H's cut node and elect "different leaders".
+func TestHairyRingAdviceFooledByComposition(t *testing.T) {
+	s := NewSystem()
+	h1 := BuildHairyRing([]int{2, 0, 3, 1})
+	h2 := BuildHairyRing([]int{1, 4, 0, 2})
+	cg := BuildComposed([]Cut{h1.CutAt(0), h2.CutAt(0)}, 6, 7)
+	_, adv, err := s.ComputeAdvice(h1.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunElect(h1.G, adv, Options{}); err != nil {
+		t.Fatalf("advice must work on its own hairy ring: %v", err)
+	}
+	if _, err := s.RunElect(cg.H.G, adv, Options{}); err == nil {
+		t.Error("Proposition 4.1 violated: H's advice elected in the composed graph")
+	}
+}
+
+// The composed graph itself is in class H and therefore perfectly
+// electable with its own advice — the fooling is about *shared* advice,
+// not about the graph being hard.
+func TestComposedGraphElectableWithOwnAdvice(t *testing.T) {
+	s := NewSystem()
+	h1 := BuildHairyRing([]int{2, 0, 3, 1})
+	h2 := BuildHairyRing([]int{1, 4, 0, 2})
+	cg := BuildComposed([]Cut{h1.CutAt(0), h2.CutAt(0)}, 6, 7)
+	if _, err := s.RunMinTime(cg.H.G, Options{}); err != nil {
+		t.Errorf("composed graph should elect with its own advice: %v", err)
+	}
+}
