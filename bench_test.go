@@ -1,7 +1,7 @@
 package election
 
 // One benchmark per experiment row of DESIGN.md's per-experiment index
-// (E1-E12). Each bench reports, beyond ns/op, the paper-relevant custom
+// (E1-E19). Each bench reports, beyond ns/op, the paper-relevant custom
 // metrics (advice bits, rounds, ratios) via b.ReportMetric, so
 // `go test -bench=. -benchmem` regenerates the quantitative skeleton of
 // EXPERIMENTS.md.
@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"math"
 	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/view"
 )
 
 // E1 — election index computation (Prop. 2.1).
@@ -361,4 +364,25 @@ func BenchmarkQuotient(b *testing.B) {
 		classes = len(m)
 	}
 	b.ReportMetric(float64(classes), "classes")
+}
+
+// E19 — raw view-interning throughput (DESIGN.md §1): a fresh table
+// interning a 200-node graph's levels, and GOMAXPROCS goroutines
+// hammering one shared table with the same views, which exercises the
+// sharded dedupe path the goroutine-per-node simulator depends on.
+func BenchmarkViewIntern(b *testing.B) {
+	g := graph.RandomConnected(200, 100, 5)
+	b.Run("fresh-table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			view.Levels(view.NewTable(), g, 4)
+		}
+	})
+	b.Run("shared-table-parallel", func(b *testing.B) {
+		tab := view.NewTable()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				view.Levels(tab, g, 4)
+			}
+		})
+	})
 }

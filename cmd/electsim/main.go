@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	election "repro"
 )
@@ -33,29 +35,67 @@ func main() {
 		x          = flag.Int("x", 0, "parameter x for -algo generic (default: the election index)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
 		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+	// Profiles are written by deferred teardown, so the algorithm run is
+	// wrapped in run() and the exit code applied after the defers fire.
+	code := func() int {
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "electsim:", err)
+				return 1
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "electsim:", err)
+				return 1
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			defer func() {
+				f, err := os.Create(*memProfile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "electsim:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "electsim:", err)
+				}
+			}()
+		}
+		return run(*graphKind, *load, *save, *algo, *n, *x, *seed, *concurrent, *wire)
+	}()
+	os.Exit(code)
+}
+
+func run(graphKind, load, save, algo string, n, x int, seed int64, concurrent, wire bool) int {
 
 	var g *election.Graph
 	var err error
-	if *load != "" {
-		g, err = loadGraph(*load)
+	if load != "" {
+		g, err = loadGraph(load)
 	} else {
-		g, err = makeGraph(*graphKind, *n, *seed)
+		g, err = makeGraph(graphKind, n, seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "electsim:", err)
-		os.Exit(1)
+		return 1
 	}
-	if *save != "" {
-		if err := os.WriteFile(*save, []byte(g.Text()), 0o644); err != nil {
+	if save != "" {
+		if err := os.WriteFile(save, []byte(g.Text()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "electsim:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	label := *graphKind
-	if *load != "" {
-		label = "file:" + *load
+	label := graphKind
+	if load != "" {
+		label = "file:" + load
 	}
 	s := election.NewSystem()
 	phi, feasible := s.ElectionIndex(g)
@@ -66,31 +106,31 @@ func main() {
 	fmt.Println()
 	if !feasible {
 		fmt.Println("leader election is impossible in this graph (symmetric views)")
-		os.Exit(2)
+		return 2
 	}
 
-	opts := election.Options{Concurrent: *concurrent, Wire: *wire}
+	opts := election.Options{Concurrent: concurrent, Wire: wire}
 	var res *election.Result
-	switch *algo {
+	switch algo {
 	case "mintime":
 		res, err = s.RunMinTime(g, opts)
 	case "generic":
-		if *x == 0 {
-			*x = phi
+		if x == 0 {
+			x = phi
 		}
-		res, err = s.RunGeneric(g, *x, opts)
+		res, err = s.RunGeneric(g, x, opts)
 	case "milestone1", "milestone2", "milestone3", "milestone4":
-		res, err = s.RunMilestone(g, int((*algo)[9]-'0'), opts)
+		res, err = s.RunMilestone(g, int((algo)[9]-'0'), opts)
 	case "fullmap":
 		res, err = s.RunFullMap(g, opts)
 	case "dplusphi":
 		res, err = s.RunDPlusPhi(g, opts)
 	default:
-		err = fmt.Errorf("unknown algorithm %q", *algo)
+		err = fmt.Errorf("unknown algorithm %q", algo)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "electsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("elected leader: node %d\n", res.Leader)
 	fmt.Printf("time: %d rounds (diameter %d, election index %d)\n", res.Time, g.Diameter(), phi)
@@ -102,6 +142,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
 func loadGraph(path string) (*election.Graph, error) {

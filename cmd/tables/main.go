@@ -1,5 +1,5 @@
 // Command tables regenerates every experiment table recorded in
-// EXPERIMENTS.md (rows E1-E12 of the per-experiment index in DESIGN.md),
+// EXPERIMENTS.md (rows E1-E18 of the per-experiment index in DESIGN.md),
 // printing GitHub-flavored markdown. Run with no flags to produce all
 // tables, or -exp E6 for a single one.
 package main

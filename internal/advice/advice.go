@@ -49,11 +49,11 @@ func NewOracle(tab *view.Table) *Oracle {
 
 // distinctSorted returns the distinct views of vs in canonical order.
 func distinctSorted(tab *view.Table, vs []*view.View) []*view.View {
-	seen := make(map[*view.View]bool, len(vs))
-	var out []*view.View
+	seen := make(map[*view.View]struct{}, len(vs))
+	out := make([]*view.View, 0, len(vs))
 	for _, v := range vs {
-		if !seen[v] {
-			seen[v] = true
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
 			out = append(out, v)
 		}
 	}

@@ -107,11 +107,12 @@ func (g *Generic) Decide(r int, b *view.View) ([]int, bool) {
 			return nil, false // Y brought a new view; keep going
 		}
 	}
-	var all []*view.View
+	var bmin *view.View
 	for v := range inX {
-		all = append(all, v)
+		if bmin == nil || g.Tab.Compare(v, bmin) < 0 {
+			bmin = v
+		}
 	}
-	bmin := g.Tab.Min(all)
 	path := g.Tab.LexShortestPathTo(b, bmin, g.X, r-g.X)
 	if path == nil {
 		// Unreachable when x >= φ; returning a self-election makes a
@@ -363,18 +364,17 @@ func (a *DPlusPhi) Decide(r int, b *view.View) ([]int, bool) {
 		return nil, false
 	}
 	levels := view.LevelSets(b)
-	seen := make(map[*view.View]bool)
-	var all []*view.View
+	// The minimum over the multiset of depth-Phi truncations equals the
+	// minimum over the set, so no dedup pass is needed.
+	var bmin *view.View
 	for j := 0; j <= a.D; j++ {
 		for _, w := range levels[j] {
 			t := a.Tab.TruncateTo(w, a.Phi)
-			if !seen[t] {
-				seen[t] = true
-				all = append(all, t)
+			if bmin == nil || a.Tab.Compare(t, bmin) < 0 {
+				bmin = t
 			}
 		}
 	}
-	bmin := a.Tab.Min(all)
 	path := a.Tab.LexShortestPathTo(b, bmin, a.Phi, a.D)
 	if path == nil {
 		return []int{}, true

@@ -77,6 +77,7 @@ func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed in
 	undecided := n
 
 	var q eventQueue
+	var edges []view.Edge
 	seq := 0
 	now := 0.0
 	send := func(v int, st *nodeState) {
@@ -136,11 +137,15 @@ func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed in
 			msgs := st.inbox[st.round]
 			delete(st.inbox, st.round)
 			delete(st.got, st.round)
-			edges := make([]view.Edge, g.Deg(e.dst))
-			for p, m := range msgs {
-				edges[p] = view.Edge{RemotePort: m.senderPort, Child: m.v}
+			deg := g.Deg(e.dst)
+			if cap(edges) < deg {
+				edges = make([]view.Edge, deg)
 			}
-			st.b = tab.Make(edges)
+			ed := edges[:deg]
+			for p, m := range msgs {
+				ed[p] = view.Edge{RemotePort: m.senderPort, Child: m.v}
+			}
+			st.b = tab.Make(ed)
 			st.round++
 			if st.round > maxRounds {
 				return nil, fmt.Errorf("sim: async node undecided after %d rounds", maxRounds)

@@ -72,6 +72,8 @@ func RunSequential(tab *view.Table, g *graph.Graph, f Factory, maxRounds int) (*
 	remaining := n
 
 	cur := make([]*view.View, n)
+	next := make([]*view.View, n)
+	var edges []view.Edge
 	for v := 0; v < n; v++ {
 		cur[v] = tab.Leaf(g.Deg(v))
 	}
@@ -94,16 +96,19 @@ func RunSequential(tab *view.Table, g *graph.Graph, f Factory, maxRounds int) (*
 		if r >= maxRounds {
 			return nil, fmt.Errorf("sim: %d nodes undecided after %d rounds", remaining, maxRounds)
 		}
-		next := make([]*view.View, n)
 		for v := 0; v < n; v++ {
-			edges := make([]view.Edge, g.Deg(v))
-			for p := 0; p < g.Deg(v); p++ {
-				h := g.At(v, p)
-				edges[p] = view.Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
+			deg := g.Deg(v)
+			if cap(edges) < deg {
+				edges = make([]view.Edge, deg)
 			}
-			next[v] = tab.Make(edges)
+			e := edges[:deg]
+			for p := 0; p < deg; p++ {
+				h := g.At(v, p)
+				e[p] = view.Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
+			}
+			next[v] = tab.Make(e)
 		}
-		cur = next
+		cur, next = next, cur
 		res.Messages += 2 * g.M()
 	}
 	for _, r := range res.Rounds {
@@ -158,6 +163,7 @@ func RunConcurrent(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, wi
 			defer wg.Done()
 			d := f(v, g.Deg(v))
 			b := tab.Leaf(g.Deg(v))
+			edges := make([]view.Edge, g.Deg(v))
 			decided := false
 			for r := 0; ; r++ {
 				if !decided {
@@ -189,7 +195,6 @@ func RunConcurrent(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, wi
 					results[v].sent++
 					chans[v][p] <- m
 				}
-				edges := make([]view.Edge, g.Deg(v))
 				for p := 0; p < g.Deg(v); p++ {
 					h := g.At(v, p)
 					m := <-chans[h.To][h.RemotePort]

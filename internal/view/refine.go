@@ -1,0 +1,237 @@
+package view
+
+import (
+	"repro/internal/graph"
+)
+
+// Refinement iterates synchronous view refinement over all nodes of a
+// graph: level 0 is the per-node depth-0 leaf, and each Step builds
+// every node's view one level deeper from its neighbors' current views.
+// Levels, ElectionIndex, Classes and StablePartition are all this one
+// loop; Refinement owns reusable buffers so that stepping allocates
+// nothing beyond the views interned (the per-node edge slice and the
+// distinct-count bookkeeping are reused across levels).
+type Refinement struct {
+	t     *Table
+	g     *graph.Graph
+	cur   []*View
+	next  []*View
+	edges []Edge
+	// seen holds every view encountered at any level. Views at
+	// different levels have different depths, hence distinct pointers,
+	// so the per-level distinct count is just the number of insertions
+	// a level performs — no clearing between levels.
+	seen     map[*View]struct{}
+	depth    int
+	distinct int
+}
+
+// NewRefinement starts refinement of g at depth 0.
+func NewRefinement(t *Table, g *graph.Graph) *Refinement {
+	n := g.N()
+	r := &Refinement{
+		t:    t,
+		g:    g,
+		cur:  make([]*View, n),
+		next: make([]*View, n),
+		seen: make(map[*View]struct{}, n),
+	}
+	for v := 0; v < n; v++ {
+		r.cur[v] = t.Leaf(g.Deg(v))
+	}
+	r.distinct = r.countNew(r.cur)
+	return r
+}
+
+// Depth returns the current refinement depth.
+func (r *Refinement) Depth() int { return r.depth }
+
+// Distinct returns the number of distinct views at the current depth.
+func (r *Refinement) Distinct() int { return r.distinct }
+
+// Views returns the per-node views at the current depth. The slice is
+// owned by the Refinement and only valid until the next Step; callers
+// that retain it must copy.
+func (r *Refinement) Views() []*View { return r.cur }
+
+// Step advances refinement one level.
+func (r *Refinement) Step() {
+	g := r.g
+	n := g.N()
+	for v := 0; v < n; v++ {
+		deg := g.Deg(v)
+		if cap(r.edges) < deg {
+			r.edges = make([]Edge, deg)
+		}
+		edges := r.edges[:deg]
+		for p := 0; p < deg; p++ {
+			h := g.At(v, p)
+			edges[p] = Edge{RemotePort: h.RemotePort, Child: r.cur[h.To]}
+		}
+		r.next[v] = r.t.Make(edges)
+	}
+	r.cur, r.next = r.next, r.cur
+	r.depth++
+	r.distinct = r.countNew(r.cur)
+}
+
+func (r *Refinement) countNew(vs []*View) int {
+	c := 0
+	for _, v := range vs {
+		if _, ok := r.seen[v]; !ok {
+			r.seen[v] = struct{}{}
+			c++
+		}
+	}
+	return c
+}
+
+// Levels computes, for every node of g, the interned views B^0 .. B^depth.
+// The result is indexed levels[l][v].
+func Levels(t *Table, g *graph.Graph, depth int) [][]*View {
+	r := NewRefinement(t, g)
+	levels := make([][]*View, depth+1)
+	levels[0] = append([]*View(nil), r.Views()...)
+	for l := 1; l <= depth; l++ {
+		r.Step()
+		levels[l] = append([]*View(nil), r.Views()...)
+	}
+	return levels
+}
+
+// Of computes B^depth(v) for a single node. Unlike Levels it only
+// touches the ball of radius depth around v: the view at level l is
+// needed only for nodes within distance depth-l of v, so far-away parts
+// of a large graph are never interned.
+func Of(t *Table, g *graph.Graph, v, depth int) *View {
+	n := g.N()
+	// BFS distances from v, capped at depth; -1 = farther than depth.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[v] = 0
+	frontier := []int{v}
+	for d := 1; d <= depth && len(frontier) > 0; d++ {
+		var nf []int
+		for _, u := range frontier {
+			for p := 0; p < g.Deg(u); p++ {
+				w := g.At(u, p).To
+				if dist[w] < 0 {
+					dist[w] = d
+					nf = append(nf, w)
+				}
+			}
+		}
+		frontier = nf
+	}
+	cur := make([]*View, n)
+	for u := 0; u < n; u++ {
+		if dist[u] >= 0 {
+			cur[u] = t.Leaf(g.Deg(u))
+		}
+	}
+	next := make([]*View, n)
+	var edges []Edge
+	for l := 1; l <= depth; l++ {
+		for u := 0; u < n; u++ {
+			next[u] = nil
+			if dist[u] < 0 || dist[u] > depth-l {
+				continue
+			}
+			deg := g.Deg(u)
+			if cap(edges) < deg {
+				edges = make([]Edge, deg)
+			}
+			e := edges[:deg]
+			for p := 0; p < deg; p++ {
+				h := g.At(u, p)
+				e[p] = Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
+			}
+			next[u] = t.Make(e)
+		}
+		cur, next = next, cur
+	}
+	return cur[v]
+}
+
+// ElectionIndex returns the election index φ(g): the smallest l such that
+// the augmented truncated views at depth l of all nodes are distinct
+// (Proposition 2.1), together with feasible = true; or (0, false) if g is
+// infeasible, i.e. the view partition stabilizes before becoming discrete
+// so that some two nodes have equal views at every depth.
+//
+// Because B^{l+1} equality refines B^l equality, the per-level count of
+// distinct views is non-decreasing, and the first repeat means the
+// partition is stable forever.
+func ElectionIndex(t *Table, g *graph.Graph) (phi int, feasible bool) {
+	n := g.N()
+	if n == 1 {
+		return 0, true
+	}
+	r := NewRefinement(t, g)
+	count := r.Distinct()
+	for {
+		r.Step()
+		c := r.Distinct()
+		if c == n {
+			return r.Depth(), true
+		}
+		if c == count {
+			return 0, false
+		}
+		count = c
+	}
+}
+
+// Feasible reports whether leader election is possible in g when nodes
+// know the map (all views distinct at some depth).
+func Feasible(t *Table, g *graph.Graph) bool {
+	_, ok := ElectionIndex(t, g)
+	return ok
+}
+
+// classIndices numbers the views of vs by first occurrence.
+func classIndices(vs []*View) []int {
+	idx := make(map[*View]int)
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		c, ok := idx[v]
+		if !ok {
+			c = len(idx)
+			idx[v] = c
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Classes returns, for each node, the index of its view-equivalence class
+// at the given depth, with classes numbered by first occurrence.
+func Classes(t *Table, g *graph.Graph, depth int) []int {
+	r := NewRefinement(t, g)
+	for l := 0; l < depth; l++ {
+		r.Step()
+	}
+	return classIndices(r.Views())
+}
+
+// StablePartition iterates view refinement until the partition of nodes
+// into view classes stabilizes, returning the per-node class indices and
+// the depth at which stability was reached. The size of the partition is
+// the number of distinct infinite views V(v) (Yamashita–Kameda): the
+// graph is feasible iff the stable partition is discrete.
+func StablePartition(t *Table, g *graph.Graph) (classes []int, depth int) {
+	r := NewRefinement(t, g)
+	count := r.Distinct()
+	prev := append([]*View(nil), r.Views()...)
+	for {
+		r.Step()
+		c := r.Distinct()
+		if c == count {
+			return classIndices(prev), r.Depth() - 1
+		}
+		count = c
+		copy(prev, r.Views())
+	}
+}

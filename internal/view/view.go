@@ -13,16 +13,20 @@
 // A Table owns the interning state; every View belongs to exactly one
 // Table and views from different tables must not be mixed (algorithms in
 // this repository thread a single Table through oracle and simulator).
+//
+// The interning core is built for the goroutine-per-node simulator: the
+// table is sharded by a 64-bit structural hash so concurrent interns of
+// unrelated views never contend, and the canonical order on views is
+// realized as per-depth integer ranks so Compare, Min and Sort are
+// allocation-free. See DESIGN.md for the invariants.
 package view
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bits"
-	"repro/internal/graph"
 )
 
 // Edge is one port of the root of a view: the port number at the far end
@@ -40,38 +44,64 @@ type View struct {
 	Depth int
 	Deg   int
 	Edges []Edge
-	id    uint64 // interning identity, unique within a Table
+	id    uint64               // interning identity, unique within a Table
+	trunc atomic.Pointer[View] // memoized Truncate result
+	// rank packs (generation<<32 | canonical rank) for the canonical
+	// per-depth order; 0 means not yet ranked. See rank.go.
+	rank atomic.Uint64
 }
 
 // ID returns the table-local interning identity of v. Views are equal iff
 // their pointers (equivalently IDs within one table) are equal.
 func (v *View) ID() uint64 { return v.id }
 
+// numShards stripes the intern table; must be a power of two. 64 shards
+// keep goroutine-per-node simulations of a few hundred nodes essentially
+// contention-free while costing ~3KB per table.
+const numShards = 64
+
+// shard is one stripe of the intern table. first maps a structural hash
+// to the first view bearing it; genuine 64-bit collisions are resolved
+// by structural comparison against the overflow bucket, which stays
+// empty in practice (keeping the common insert to a single map store).
+// byDepth[d] registers every view of depth d created in this shard, in
+// creation order, for the rank machinery; appending here under the same
+// critical section that publishes the view guarantees rank passes never
+// miss a reachable view.
+type shard struct {
+	mu       sync.Mutex
+	first    map[uint64]*View
+	overflow map[uint64][]*View
+	byDepth  [][]*View
+}
+
 // Table interns views. It is safe for concurrent use, so the goroutine
 // simulator can intern received views in parallel.
 type Table struct {
-	mu      sync.Mutex
-	nextID  uint64
-	interns map[string]*View
-	trunc   map[*View]*View
-	cmp     map[[2]*View]int8
+	nextID atomic.Uint64
+	shards [numShards]shard
+
+	// Canonical-rank state; see rank.go.
+	rankMu  sync.Mutex
+	rankGen uint64
+	ranked  []int // ranked[d] = #depth-d views covered by the last complete pass
+
+	// hashHook, when non-nil, replaces hashView; set only by collision
+	// tests (before any interning) to force every view into one bucket.
+	hashHook func(depth, deg int, edges []Edge) uint64
 }
 
 // NewTable returns an empty interning table.
 func NewTable() *Table {
-	return &Table{
-		interns: make(map[string]*View),
-		trunc:   make(map[*View]*View),
-		cmp:     make(map[[2]*View]int8),
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].first = make(map[uint64]*View)
 	}
+	return t
 }
 
 // Size returns the number of distinct views interned so far.
-func (t *Table) Size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.interns)
-}
+func (t *Table) Size() int { return int(t.nextID.Load()) }
 
 // Leaf interns the depth-0 view of a node of the given degree.
 func (t *Table) Leaf(deg int) *View {
@@ -83,6 +113,7 @@ func (t *Table) Leaf(deg int) *View {
 
 // Make interns the view of depth d+1 whose root has the given edges; the
 // children must all be interned in this table and have equal depth d.
+// Make does not retain edges: callers may reuse the slice.
 func (t *Table) Make(edges []Edge) *View {
 	if len(edges) == 0 {
 		panic("view: Make requires at least one edge; use Leaf for isolated roots")
@@ -99,41 +130,101 @@ func (t *Table) Make(edges []Edge) *View {
 	return t.intern(d+1, len(edges), edges)
 }
 
-func (t *Table) intern(depth, deg int, edges []Edge) *View {
-	key := internKey(depth, deg, edges)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if v, ok := t.interns[key]; ok {
-		return v
+// hashView is the allocation-free structural intern key: FNV-1a over the
+// depth, the degree, and the (remote port, child identity) sequence,
+// finished with a splitmix64 avalanche so the low bits that select the
+// shard are well mixed. Child identity is the child's interning id,
+// which is sound because children are interned before parents.
+func hashView(depth, deg int, edges []Edge) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(depth)) * prime64
+	h = (h ^ uint64(deg)) * prime64
+	for i := range edges {
+		h = (h ^ uint64(edges[i].RemotePort)) * prime64
+		h = (h ^ edges[i].Child.id) * prime64
 	}
-	es := make([]Edge, len(edges))
-	copy(es, edges)
-	v := &View{Depth: depth, Deg: deg, Edges: es, id: t.nextID}
-	t.nextID++
-	t.interns[key] = v
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// sameStructure reports whether an interned view matches a candidate
+// key. Children compare by pointer: they are interned, so structural
+// equality below the root is pointer equality.
+func sameStructure(v *View, depth, deg int, edges []Edge) bool {
+	if v.Depth != depth || v.Deg != deg {
+		return false
+	}
+	for i := range edges {
+		if v.Edges[i].RemotePort != edges[i].RemotePort || v.Edges[i].Child != edges[i].Child {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) intern(depth, deg int, edges []Edge) *View {
+	var h uint64
+	if t.hashHook == nil {
+		h = hashView(depth, deg, edges)
+	} else {
+		h = t.hashHook(depth, deg, edges)
+	}
+	s := &t.shards[h&(numShards-1)]
+	s.mu.Lock()
+	head, collided := s.first[h]
+	if head != nil {
+		if sameStructure(head, depth, deg, edges) {
+			s.mu.Unlock()
+			return head
+		}
+		for _, v := range s.overflow[h] {
+			if sameStructure(v, depth, deg, edges) {
+				s.mu.Unlock()
+				return v
+			}
+		}
+	}
+	var es []Edge
+	if len(edges) > 0 {
+		es = make([]Edge, len(edges))
+		copy(es, edges)
+	}
+	v := &View{Depth: depth, Deg: deg, Edges: es, id: t.nextID.Add(1) - 1}
+	// Register for ranking before publishing in the bucket: any
+	// goroutine that can obtain v is then guaranteed a rank pass will
+	// cover it (rank passes lock every shard), so Compare cannot spin.
+	for len(s.byDepth) <= depth {
+		s.byDepth = append(s.byDepth, nil)
+	}
+	s.byDepth[depth] = append(s.byDepth[depth], v)
+	if !collided {
+		s.first[h] = v
+	} else {
+		if s.overflow == nil {
+			s.overflow = make(map[uint64][]*View)
+		}
+		s.overflow[h] = append(s.overflow[h], v)
+	}
+	s.mu.Unlock()
 	return v
 }
 
-func internKey(depth, deg int, edges []Edge) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d:%d", depth, deg)
-	for _, e := range edges {
-		fmt.Fprintf(&sb, ":%d.%d", e.RemotePort, e.Child.id)
-	}
-	return sb.String()
-}
-
 // Truncate returns the view one level shallower than v, i.e. B^{d-1} of
-// the same root. It panics for depth-0 views. Results are memoized.
+// the same root. It panics for depth-0 views. Results are memoized on
+// the view itself; the benign race on the memo is idempotent because
+// both writers store the same interned pointer.
 func (t *Table) Truncate(v *View) *View {
 	if v.Depth == 0 {
 		panic("view: cannot truncate a depth-0 view")
 	}
-	t.mu.Lock()
-	cached, ok := t.trunc[v]
-	t.mu.Unlock()
-	if ok {
-		return cached
+	if c := v.trunc.Load(); c != nil {
+		return c
 	}
 	var out *View
 	if v.Depth == 1 {
@@ -145,9 +236,7 @@ func (t *Table) Truncate(v *View) *View {
 		}
 		out = t.Make(edges)
 	}
-	t.mu.Lock()
-	t.trunc[v] = out
-	t.mu.Unlock()
+	v.trunc.Store(out)
 	return out
 }
 
@@ -160,81 +249,6 @@ func (t *Table) TruncateTo(v *View, depth int) *View {
 		v = t.Truncate(v)
 	}
 	return v
-}
-
-// Compare defines the canonical total order on equal-depth views that
-// this repository uses wherever the paper orders views "by the
-// lexicographic order of their binary representations": first by degree,
-// then port by port by remote port number, then recursively by child
-// views. Any fixed total order shared by oracle and nodes preserves the
-// paper's proofs; see DESIGN.md. Results are memoized per view pair.
-func (t *Table) Compare(a, b *View) int {
-	if a == b {
-		return 0
-	}
-	if a.Depth != b.Depth {
-		// Views of different depths never need ordering in the paper's
-		// algorithms; order by depth for totality.
-		if a.Depth < b.Depth {
-			return -1
-		}
-		return 1
-	}
-	t.mu.Lock()
-	if c, ok := t.cmp[[2]*View{a, b}]; ok {
-		t.mu.Unlock()
-		return int(c)
-	}
-	t.mu.Unlock()
-	r := t.compareUncached(a, b)
-	t.mu.Lock()
-	t.cmp[[2]*View{a, b}] = int8(r)
-	t.cmp[[2]*View{b, a}] = int8(-r)
-	t.mu.Unlock()
-	return r
-}
-
-func (t *Table) compareUncached(a, b *View) int {
-	if a.Deg != b.Deg {
-		if a.Deg < b.Deg {
-			return -1
-		}
-		return 1
-	}
-	for i := range a.Edges {
-		ea, eb := a.Edges[i], b.Edges[i]
-		if ea.RemotePort != eb.RemotePort {
-			if ea.RemotePort < eb.RemotePort {
-				return -1
-			}
-			return 1
-		}
-	}
-	for i := range a.Edges {
-		if c := t.Compare(a.Edges[i].Child, b.Edges[i].Child); c != 0 {
-			return c
-		}
-	}
-	return 0
-}
-
-// Min returns the minimum view of a non-empty slice under Compare.
-func (t *Table) Min(vs []*View) *View {
-	if len(vs) == 0 {
-		panic("view: Min of empty slice")
-	}
-	m := vs[0]
-	for _, v := range vs[1:] {
-		if t.Compare(v, m) < 0 {
-			m = v
-		}
-	}
-	return m
-}
-
-// Sort sorts views in place under Compare.
-func (t *Table) Sort(vs []*View) {
-	sort.Slice(vs, func(i, j int) bool { return t.Compare(vs[i], vs[j]) < 0 })
 }
 
 // EncodeDepth1 returns the paper's exact binary encoding bin(B^1(v)) of a
@@ -255,148 +269,11 @@ func EncodeDepth1(v *View) bits.String {
 	return bits.Concat(parts...)
 }
 
-// Levels computes, for every node of g, the interned views B^0 .. B^depth.
-// The result is indexed levels[l][v].
-func Levels(t *Table, g *graph.Graph, depth int) [][]*View {
-	n := g.N()
-	levels := make([][]*View, depth+1)
-	cur := make([]*View, n)
-	for v := 0; v < n; v++ {
-		cur[v] = t.Leaf(g.Deg(v))
-	}
-	levels[0] = cur
-	for l := 1; l <= depth; l++ {
-		next := make([]*View, n)
-		prev := levels[l-1]
-		for v := 0; v < n; v++ {
-			edges := make([]Edge, g.Deg(v))
-			for p := 0; p < g.Deg(v); p++ {
-				h := g.At(v, p)
-				edges[p] = Edge{RemotePort: h.RemotePort, Child: prev[h.To]}
-			}
-			next[v] = t.Make(edges)
-		}
-		levels[l] = next
-	}
-	return levels
-}
-
-// Of computes B^depth(v) for a single node.
-func Of(t *Table, g *graph.Graph, v, depth int) *View {
-	return Levels(t, g, depth)[depth][v]
-}
-
 // distinctCount returns the number of distinct views in vs.
 func distinctCount(vs []*View) int {
-	set := make(map[*View]bool, len(vs))
+	set := make(map[*View]struct{}, len(vs))
 	for _, v := range vs {
-		set[v] = true
+		set[v] = struct{}{}
 	}
 	return len(set)
-}
-
-// ElectionIndex returns the election index φ(g): the smallest l such that
-// the augmented truncated views at depth l of all nodes are distinct
-// (Proposition 2.1), together with feasible = true; or (0, false) if g is
-// infeasible, i.e. the view partition stabilizes before becoming discrete
-// so that some two nodes have equal views at every depth.
-//
-// Because B^{l+1} equality refines B^l equality, the per-level count of
-// distinct views is non-decreasing, and the first repeat means the
-// partition is stable forever.
-func ElectionIndex(t *Table, g *graph.Graph) (phi int, feasible bool) {
-	n := g.N()
-	if n == 1 {
-		return 0, true
-	}
-	cur := make([]*View, n)
-	for v := 0; v < n; v++ {
-		cur[v] = t.Leaf(g.Deg(v))
-	}
-	count := distinctCount(cur)
-	for l := 1; ; l++ {
-		next := make([]*View, n)
-		for v := 0; v < n; v++ {
-			edges := make([]Edge, g.Deg(v))
-			for p := 0; p < g.Deg(v); p++ {
-				h := g.At(v, p)
-				edges[p] = Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
-			}
-			next[v] = t.Make(edges)
-		}
-		c := distinctCount(next)
-		if c == n {
-			return l, true
-		}
-		if c == count {
-			return 0, false
-		}
-		count = c
-		cur = next
-	}
-}
-
-// Feasible reports whether leader election is possible in g when nodes
-// know the map (all views distinct at some depth).
-func Feasible(t *Table, g *graph.Graph) bool {
-	_, ok := ElectionIndex(t, g)
-	return ok
-}
-
-// Classes returns, for each node, the index of its view-equivalence class
-// at the given depth, with classes numbered by first occurrence.
-func Classes(t *Table, g *graph.Graph, depth int) []int {
-	vs := Levels(t, g, depth)[depth]
-	idx := make(map[*View]int)
-	out := make([]int, len(vs))
-	for i, v := range vs {
-		c, ok := idx[v]
-		if !ok {
-			c = len(idx)
-			idx[v] = c
-		}
-		out[i] = c
-	}
-	return out
-}
-
-// StablePartition iterates view refinement until the partition of nodes
-// into view classes stabilizes, returning the per-node class indices and
-// the depth at which stability was reached. The size of the partition is
-// the number of distinct infinite views V(v) (Yamashita–Kameda): the
-// graph is feasible iff the stable partition is discrete.
-func StablePartition(t *Table, g *graph.Graph) (classes []int, depth int) {
-	n := g.N()
-	cur := make([]*View, n)
-	for v := 0; v < n; v++ {
-		cur[v] = t.Leaf(g.Deg(v))
-	}
-	count := distinctCount(cur)
-	for l := 1; ; l++ {
-		next := make([]*View, n)
-		for v := 0; v < n; v++ {
-			edges := make([]Edge, g.Deg(v))
-			for p := 0; p < g.Deg(v); p++ {
-				h := g.At(v, p)
-				edges[p] = Edge{RemotePort: h.RemotePort, Child: cur[h.To]}
-			}
-			next[v] = t.Make(edges)
-		}
-		c := distinctCount(next)
-		if c == count {
-			idx := make(map[*View]int)
-			out := make([]int, n)
-			for i, v := range cur {
-				cl, ok := idx[v]
-				if !ok {
-					cl = len(idx)
-					idx[v] = cl
-				}
-				out[i] = cl
-			}
-			return out, l - 1
-		}
-		count = c
-		cur = next
-	}
 }
