@@ -1,7 +1,7 @@
 package election
 
 // One benchmark per experiment row of DESIGN.md's per-experiment index
-// (E1-E19). Each bench reports, beyond ns/op, the paper-relevant custom
+// (E1-E20). Each bench reports, beyond ns/op, the paper-relevant custom
 // metrics (advice bits, rounds, ratios) via b.ReportMetric, so
 // `go test -bench=. -benchmem` regenerates the quantitative skeleton of
 // EXPERIMENTS.md.
@@ -364,6 +364,67 @@ func BenchmarkQuotient(b *testing.B) {
 		classes = len(m)
 	}
 	b.ReportMetric(float64(classes), "classes")
+}
+
+// E1 (ablation) — the legacy interned-view engine on the same graphs as
+// BenchmarkElectionIndex, so the part-vs-view gap stays machine-readable
+// in the bench trajectory.
+func BenchmarkElectionIndexViewEngine(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		g := RandomConnected(n, n/2, int64(n))
+		b.Run(fmt.Sprintf("random-n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewSystemWith(EngineView)
+				s.ElectionIndex(g)
+			}
+		})
+	}
+}
+
+// E20 — view-free partition refinement at scale (DESIGN.md §4): the
+// election index and the stable partition on graphs two orders of
+// magnitude beyond what the view path can touch. Ports of the regular
+// families are shuffled so refinement does real splitting work instead
+// of collapsing to a symmetric one-class partition in one step.
+func BenchmarkPartitionScale(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		make func() *Graph
+	}{
+		{"random-n10000", func() *Graph { return RandomConnected(10_000, 5_000, 1) }},
+		{"random-n100000", func() *Graph { return RandomConnected(100_000, 50_000, 1) }},
+		{"torus-100x100", func() *Graph { return ShufflePorts(Torus(100, 100), 1) }},
+		{"torus-320x320", func() *Graph { return ShufflePorts(Torus(320, 320), 1) }},
+		{"hypercube-d13", func() *Graph { return ShufflePorts(Hypercube(13), 1) }},
+		{"hypercube-d17", func() *Graph { return ShufflePorts(Hypercube(17), 1) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			g := tc.make()
+			b.ResetTimer()
+			var phi, depth, classes int
+			var feasible bool
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				phi, feasible = s.ElectionIndex(g)
+				var cls []int
+				cls, depth = s.StablePartition(g)
+				classes = 0
+				for _, c := range cls {
+					if c+1 > classes {
+						classes = c + 1
+					}
+				}
+			}
+			b.ReportMetric(float64(phi), "phi")
+			if feasible {
+				b.ReportMetric(1, "feasible")
+			} else {
+				b.ReportMetric(0, "feasible")
+			}
+			b.ReportMetric(float64(depth), "stable-depth")
+			b.ReportMetric(float64(classes), "classes")
+		})
+	}
 }
 
 // E19 — raw view-interning throughput (DESIGN.md §1): a fresh table

@@ -7,11 +7,20 @@
 //	electsim -graph lollipop -n 20 -algo mintime
 //	electsim -graph random -n 50 -seed 7 -algo milestone2 -concurrent
 //	electsim -graph necklace -n 4 -algo generic -x 5
+//	electsim -graph random -n 100000 -algo index -engine part
 //
-// Graphs: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy.
+// Graphs: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy,
+// torus, hypercube (torus and hypercube are -n-parameterized with
+// shuffled ports, so 100k-node instances are drivable from the CLI).
 // Algorithms: mintime (Theorem 3.1), generic (Lemma 4.1, needs -x),
 // milestone1..milestone4 (Theorem 4.1), fullmap (Proposition 2.1),
-// dplusphi (remark after Theorem 4.1).
+// dplusphi (remark after Theorem 4.1), index (no election run: just φ,
+// feasibility and the stable partition — the large-graph path).
+//
+// -engine selects how φ and the stable partition are computed: "part"
+// (the default view-free partition-refinement engine) or "view" (the
+// legacy interned-view refinement, for cross-checking and profiling).
+// The -cpuprofile/-memprofile flags cover whichever path runs.
 package main
 
 import (
@@ -20,18 +29,20 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	election "repro"
 )
 
 func main() {
 	var (
-		graphKind  = flag.String("graph", "lollipop", "graph family: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy")
+		graphKind  = flag.String("graph", "lollipop", "graph family: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy, torus, hypercube")
 		load       = flag.String("load", "", "load the graph from a file in the text format instead of generating one")
 		save       = flag.String("save", "", "write the generated graph to a file in the text format")
 		n          = flag.Int("n", 16, "size parameter of the graph family")
-		seed       = flag.Int64("seed", 1, "seed for random graphs")
-		algo       = flag.String("algo", "mintime", "mintime, generic, milestone1..4, fullmap, dplusphi")
+		seed       = flag.Int64("seed", 1, "seed for random graphs and port shuffles")
+		algo       = flag.String("algo", "mintime", "mintime, generic, milestone1..4, fullmap, dplusphi, index")
+		engine     = flag.String("engine", "part", "partition engine: part (view-free) or view (legacy)")
 		x          = flag.Int("x", 0, "parameter x for -algo generic (default: the election index)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
 		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
@@ -69,12 +80,12 @@ func main() {
 				}
 			}()
 		}
-		return run(*graphKind, *load, *save, *algo, *n, *x, *seed, *concurrent, *wire)
+		return run(*graphKind, *load, *save, *algo, *engine, *n, *x, *seed, *concurrent, *wire)
 	}()
 	os.Exit(code)
 }
 
-func run(graphKind, load, save, algo string, n, x int, seed int64, concurrent, wire bool) int {
+func run(graphKind, load, save, algo, engine string, n, x int, seed int64, concurrent, wire bool) int {
 
 	var g *election.Graph
 	var err error
@@ -97,13 +108,43 @@ func run(graphKind, load, save, algo string, n, x int, seed int64, concurrent, w
 	if load != "" {
 		label = "file:" + load
 	}
-	s := election.NewSystem()
+	var s *election.System
+	switch engine {
+	case "part":
+		s = election.NewSystem()
+	case "view":
+		s = election.NewSystemWith(election.EngineView)
+	default:
+		fmt.Fprintf(os.Stderr, "electsim: unknown engine %q (want part or view)\n", engine)
+		return 1
+	}
+	start := time.Now()
 	phi, feasible := s.ElectionIndex(g)
-	fmt.Printf("graph %s: n=%d m=%d diameter=%d feasible=%v", label, g.N(), g.M(), g.Diameter(), feasible)
+	indexElapsed := time.Since(start)
+	// The diameter is an all-pairs BFS; at the 100k-node scale the index
+	// path targets, it would dwarf the measured computation, so it is
+	// only printed for the election algorithms (which need it anyway).
+	fmt.Printf("graph %s: n=%d m=%d feasible=%v", label, g.N(), g.M(), feasible)
 	if feasible {
 		fmt.Printf(" electionIndex=%d", phi)
 	}
-	fmt.Println()
+	fmt.Printf(" engine=%s (%v)\n", engine, indexElapsed)
+	if algo == "index" {
+		start = time.Now()
+		classes, depth := s.StablePartition(g)
+		k := 0
+		for _, c := range classes {
+			if c+1 > k {
+				k = c + 1
+			}
+		}
+		fmt.Printf("stable partition: %d classes at depth %d (%v)\n", k, depth, time.Since(start))
+		if !feasible {
+			fmt.Println("leader election is impossible in this graph (symmetric views)")
+			return 2
+		}
+		return 0
+	}
 	if !feasible {
 		fmt.Println("leader election is impossible in this graph (symmetric views)")
 		return 2
@@ -184,6 +225,27 @@ func makeGraph(kind string, n int, seed int64) (*election.Graph, error) {
 		}
 		sizes[0] = 5
 		return election.BuildHairyRing(sizes).G, nil
+	case "torus":
+		// Nearest w*h >= n with w = floor(sqrt(n)); ports shuffled so the
+		// instance is not trivially symmetric.
+		w := 1
+		for (w+1)*(w+1) <= n {
+			w++
+		}
+		h := (n + w - 1) / w
+		if w < 3 {
+			w = 3
+		}
+		if h < 3 {
+			h = 3
+		}
+		return election.ShufflePorts(election.Torus(w, h), seed), nil
+	case "hypercube":
+		d := 1
+		for 1<<(d+1) <= n {
+			d++
+		}
+		return election.ShufflePorts(election.Hypercube(d), seed), nil
 	default:
 		return nil, fmt.Errorf("unknown graph kind %q", kind)
 	}

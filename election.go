@@ -27,11 +27,13 @@ package election
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/advice"
 	"repro/internal/algorithms"
 	"repro/internal/bits"
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/sim"
 	"repro/internal/view"
 )
@@ -73,30 +75,72 @@ var (
 	Broom             = graph.Broom
 )
 
+// Engine selects how the partition-level quantities — the election
+// index φ, feasibility, and the stable partition — are computed.
+type Engine int
+
+const (
+	// EnginePart is the view-free partition-refinement engine
+	// (internal/part): zero interning, zero hashing, O(n+m) per depth.
+	// It is the default and scales to graphs two orders of magnitude
+	// larger than the view path.
+	EnginePart Engine = iota
+	// EngineView is the legacy interned-view refinement
+	// (view.Refinement). Both engines are bit-identical (pinned by the
+	// equivalence property tests in internal/part); EngineView remains
+	// selectable for cross-checking and profiling comparisons.
+	EngineView
+)
+
 // System owns the shared view-interning table used by the oracle and the
-// simulated nodes. It is safe for concurrent use.
+// simulated nodes, plus the engine choice for partition-level
+// computations. It is safe for concurrent use. The table is created on
+// first use: purely partition-level workloads (ElectionIndex, Feasible,
+// StablePartition under EnginePart) never allocate interning state.
 type System struct {
-	tab *view.Table
+	tabOnce sync.Once
+	tab     *view.Table
+	engine  Engine
 }
 
-// NewSystem returns a fresh System.
-func NewSystem() *System { return &System{tab: view.NewTable()} }
+// NewSystem returns a fresh System using the view-free partition engine.
+func NewSystem() *System { return NewSystemWith(EnginePart) }
+
+// NewSystemWith returns a fresh System computing φ, feasibility and
+// stable partitions with the given engine.
+func NewSystemWith(e Engine) *System {
+	return &System{engine: e}
+}
+
+// table returns the lazily-created view-interning table.
+func (s *System) table() *view.Table {
+	s.tabOnce.Do(func() { s.tab = view.NewTable() })
+	return s.tab
+}
 
 // ElectionIndex returns φ(g) and whether g is feasible (Proposition 2.1):
 // φ is the smallest depth at which the augmented truncated views of all
 // nodes are distinct, and is the minimum time in which leader election
 // can be performed when the map of g is known.
 func (s *System) ElectionIndex(g *Graph) (phi int, feasible bool) {
-	return view.ElectionIndex(s.tab, g)
+	if s.engine == EngineView {
+		return view.ElectionIndex(s.table(), g)
+	}
+	return part.ElectionIndex(g)
 }
 
 // Feasible reports whether leader election is at all possible in g.
-func (s *System) Feasible(g *Graph) bool { return view.Feasible(s.tab, g) }
+func (s *System) Feasible(g *Graph) bool {
+	if s.engine == EngineView {
+		return view.Feasible(s.table(), g)
+	}
+	return part.Feasible(g)
+}
 
 // ComputeAdvice runs the oracle of Theorem 3.1 and returns the advice
 // both decoded and encoded; the encoded length is O(n log n) bits.
 func (s *System) ComputeAdvice(g *Graph) (*Advice, Bits, error) {
-	o := advice.NewOracle(s.tab)
+	o := advice.NewOracle(s.table())
 	a, err := o.ComputeAdvice(g)
 	if err != nil {
 		return nil, Bits{}, err
@@ -135,14 +179,14 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 	switch {
 	case o.Async:
 		var ar *sim.AsyncResult
-		ar, err = sim.RunAsync(s.tab, g, f, maxRounds, o.AsyncSeed)
+		ar, err = sim.RunAsync(s.table(), g, f, maxRounds, o.AsyncSeed)
 		if ar != nil {
 			res = &ar.Result
 		}
 	case o.Concurrent:
-		res, err = sim.RunConcurrent(s.tab, g, f, maxRounds, o.Wire)
+		res, err = sim.RunConcurrent(s.table(), g, f, maxRounds, o.Wire)
 	default:
-		res, err = sim.RunSequential(s.tab, g, f, maxRounds)
+		res, err = sim.RunSequential(s.table(), g, f, maxRounds)
 	}
 	if err != nil {
 		return nil, err
@@ -172,7 +216,7 @@ func (s *System) RunMinTime(g *Graph, o Options) (*Result, error) {
 // RunElect runs Algorithm Elect with an externally supplied advice
 // string (normally produced by ComputeAdvice).
 func (s *System) RunElect(g *Graph, adv Bits, o Options) (*Result, error) {
-	f, err := algorithms.NewElectFactory(s.tab, adv)
+	f, err := algorithms.NewElectFactory(s.table(), adv)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +232,7 @@ func (s *System) RunGeneric(g *Graph, x int, o Options) (*Result, error) {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = g.Diameter() + x + 2
 	}
-	return s.run(g, algorithms.NewGenericFactory(s.tab, x), 0, o)
+	return s.run(g, algorithms.NewGenericFactory(s.table(), x), 0, o)
 }
 
 // MilestoneAdvice returns the advice string and Generic parameter of
@@ -203,7 +247,7 @@ func (s *System) RunMilestone(g *Graph, i int, o Options) (*Result, error) {
 		return nil, errors.New("election: graph is infeasible")
 	}
 	adv, p := algorithms.ElectionAdvice(i, phi)
-	f, err := algorithms.NewElectionFactory(s.tab, i, adv)
+	f, err := algorithms.NewElectionFactory(s.table(), i, adv)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +264,7 @@ func (s *System) RunMilestone(g *Graph, i int, o Options) (*Result, error) {
 // isomorphic map of g and elects in exactly φ(g) rounds with no advice
 // string (the map itself is the knowledge).
 func (s *System) RunFullMap(g *Graph, o Options) (*Result, error) {
-	f, _, err := algorithms.NewFullMapFactory(s.tab, g)
+	f, _, err := algorithms.NewFullMapFactory(s.table(), g)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +279,7 @@ func (s *System) RunDPlusPhi(g *Graph, o Options) (*Result, error) {
 		return nil, errors.New("election: graph is infeasible")
 	}
 	adv := algorithms.DPlusPhiAdvice(g.Diameter(), phi)
-	f, err := algorithms.NewDPlusPhiFactory(s.tab, adv)
+	f, err := algorithms.NewDPlusPhiFactory(s.table(), adv)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +298,7 @@ func Verify(g *Graph, outputs [][]int) (int, error) { return sim.Verify(g, outpu
 // maxBits caps the output (0 = no cap); exceeding it returns an error,
 // which for deep election indices is the expected outcome.
 func (s *System) ComputeNaiveAdvice(g *Graph, maxBits int) (Bits, error) {
-	o := advice.NewOracle(s.tab)
+	o := advice.NewOracle(s.table())
 	na, err := o.ComputeNaiveAdvice(g, maxBits)
 	if err != nil {
 		return Bits{}, err
@@ -270,7 +314,7 @@ func (s *System) RunNaiveMinTime(g *Graph, maxBits int, o Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	f, err := algorithms.NewNaiveElectFactory(s.tab, enc)
+	f, err := algorithms.NewNaiveElectFactory(s.table(), enc)
 	if err != nil {
 		return nil, err
 	}
@@ -285,12 +329,15 @@ func (s *System) RunTreeElect(g *Graph, o Options) (*Result, error) {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = g.Diameter() + 2
 	}
-	return s.run(g, algorithms.NewTreeElectFactory(s.tab), 0, o)
+	return s.run(g, algorithms.NewTreeElectFactory(s.table()), 0, o)
 }
 
 // StablePartition returns the partition of nodes into classes of equal
 // infinite views (Yamashita–Kameda) and the depth at which refinement
 // stabilized; the graph is feasible iff every class is a singleton.
 func (s *System) StablePartition(g *Graph) (classes []int, depth int) {
-	return view.StablePartition(s.tab, g)
+	if s.engine == EngineView {
+		return view.StablePartition(s.table(), g)
+	}
+	return part.StablePartition(g)
 }

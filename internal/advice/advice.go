@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/trie"
 	"repro/internal/view"
 )
@@ -63,8 +64,13 @@ func distinctSorted(tab *view.Table, vs []*view.View) []*view.View {
 
 // ComputeAdvice is Algorithm 5 of the paper. It requires g to be feasible
 // and returns the decoded advice; use (*Advice).Encode for the bit string.
+//
+// φ comes from the view-free partition engine, so views are interned
+// exactly once (the single Levels pass to depth φ), and the distinct
+// views of each depth are read off the refinement's class
+// representatives instead of being deduplicated per depth.
 func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
-	phi, feasible := view.ElectionIndex(o.Tab, g)
+	phi, reps, feasible := part.ElectionTrace(g)
 	if !feasible {
 		return nil, errors.New("advice: graph is infeasible (symmetric views)")
 	}
@@ -74,8 +80,22 @@ func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
 	levels := view.Levels(o.Tab, g, phi)
 	lb := o.Labeler
 
+	// distinctAt(i) is the distinct depth-i views in canonical order:
+	// one view per refinement class (the equivalence invariant of
+	// internal/part makes class representatives exactly one node per
+	// distinct view), then sorted — the same result distinctSorted
+	// computes from the full per-node list.
+	distinctAt := func(i int) []*view.View {
+		out := make([]*view.View, len(reps[i]))
+		for c, rep := range reps[i] {
+			out[c] = levels[i][rep]
+		}
+		o.Tab.Sort(out)
+		return out
+	}
+
 	// E1 discriminates all depth-1 views.
-	s1 := distinctSorted(o.Tab, levels[1])
+	s1 := distinctAt(1)
 	e1 := lb.BuildTrie(s1, nil, nil)
 
 	// E2: for each depth i = 2..phi, for each depth-(i-1) view B' (in
@@ -83,9 +103,9 @@ func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
 	// add the couple (j, BuildTrie of that set).
 	var e2 trie.E2
 	for i := 2; i <= phi; i++ {
-		prev := distinctSorted(o.Tab, levels[i-1])
+		prev := distinctAt(i - 1)
 		byTrunc := make(map[*view.View][]*view.View)
-		for _, b := range distinctSorted(o.Tab, levels[i]) {
+		for _, b := range distinctAt(i) {
 			tr := o.Tab.Truncate(b)
 			byTrunc[tr] = append(byTrunc[tr], b)
 		}

@@ -1,0 +1,54 @@
+package advice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/view"
+)
+
+// TestDistinctFromRepsMatchesDistinctSorted pins the oracle's
+// representative-based enumeration of distinct views to the behavior of
+// the original distinctSorted helper: taking one view per refinement
+// class (via the partition trace) and sorting canonically must yield
+// exactly distinctSorted of the full per-node view list, at every depth
+// up to φ.
+func TestDistinctFromRepsMatchesDistinctSorted(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"lollipop": graph.Lollipop(5, 4),
+		"grid":     graph.Grid(4, 3),
+		"broom":    graph.Broom(3, 5),
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		n := 16 + 8*int(seed)
+		graphs[fmt.Sprintf("random-n%d", n)] = graph.RandomConnected(n, n/2, seed)
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			tab := view.NewTable()
+			phi, reps, ok := part.ElectionTrace(g)
+			if !ok {
+				t.Skip("infeasible instance")
+			}
+			levels := view.Levels(tab, g, phi)
+			for i := 0; i <= phi; i++ {
+				want := distinctSorted(tab, levels[i])
+				got := make([]*view.View, len(reps[i]))
+				for c, rep := range reps[i] {
+					got[c] = levels[i][rep]
+				}
+				tab.Sort(got)
+				if len(want) != len(got) {
+					t.Fatalf("depth %d: distinctSorted has %d views, reps %d", i, len(want), len(got))
+				}
+				for j := range want {
+					if want[j] != got[j] {
+						t.Fatalf("depth %d position %d: views differ", i, j)
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/view"
 )
 
@@ -32,7 +33,7 @@ type NaiveAdvice struct {
 // maxBits (0 means no cap) and get an error when exceeded, mirroring why
 // the paper rejects the approach.
 func (o *Oracle) ComputeNaiveAdvice(g *graph.Graph, maxBits int) (*NaiveAdvice, error) {
-	phi, feasible := view.ElectionIndex(o.Tab, g)
+	phi, feasible := part.ElectionIndex(g)
 	if !feasible {
 		return nil, errors.New("advice: graph is infeasible (symmetric views)")
 	}

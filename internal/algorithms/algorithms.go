@@ -22,6 +22,7 @@ import (
 	"repro/internal/advice"
 	"repro/internal/bits"
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/sim"
 	"repro/internal/trie"
 	"repro/internal/view"
@@ -268,7 +269,7 @@ type FullMap struct {
 // output path; nodes then just look up their acquired view. Returns an
 // error if m is infeasible.
 func NewFullMapFactory(tab *view.Table, m *graph.Graph) (sim.Factory, int, error) {
-	phi, ok := view.ElectionIndex(tab, m)
+	phi, ok := part.ElectionIndex(m)
 	if !ok {
 		return nil, 0, fmt.Errorf("algorithms: map is infeasible")
 	}

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/sim"
 	"repro/internal/view"
 )
@@ -34,13 +35,13 @@ func (t *TreeElect) Decide(r int, b *view.View) ([]int, bool) {
 	}
 	// The local copy g is isomorphic to the real tree, rooted at this
 	// node (sim id 0 in the copy). Elect the unique minimum-view node.
-	tab := view.NewTable()
-	phi, feasible := view.ElectionIndex(tab, g)
+	phi, feasible := part.ElectionIndex(g)
 	if !feasible {
 		// A symmetric tree (e.g. a 2-path): election impossible; output
 		// self-election so that the verifier reports the failure.
 		return []int{}, true
 	}
+	tab := view.NewTable()
 	levels := view.Levels(tab, g, phi)
 	target := tab.Min(levels[phi])
 	leader := -1

@@ -27,19 +27,14 @@ type Half struct {
 // leaving v through port p. Construct graphs with a Builder.
 type Graph struct {
 	adj [][]Half
+	m   int // edge count, cached at Finalize: M() sits on per-round hot paths
 }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
 
 // M returns the number of (undirected) edges.
-func (g *Graph) M() int {
-	total := 0
-	for _, a := range g.adj {
-		total += len(a)
-	}
-	return total / 2
-}
+func (g *Graph) M() int { return g.m }
 
 // Deg returns the degree of node v.
 func (g *Graph) Deg(v int) int { return len(g.adj[v]) }
@@ -132,7 +127,7 @@ func (b *Builder) Finalize() (*Graph, error) {
 		adjPorts[e.u][e.pu] = Half{To: e.v, RemotePort: e.pv}
 		adjPorts[e.v][e.pv] = Half{To: e.u, RemotePort: e.pu}
 	}
-	g := &Graph{adj: make([][]Half, b.n)}
+	g := &Graph{adj: make([][]Half, b.n), m: len(seenEdge)}
 	for v, ports := range adjPorts {
 		d := len(ports)
 		g.adj[v] = make([]Half, d)

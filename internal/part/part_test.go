@@ -1,0 +1,217 @@
+package part_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/families"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/view"
+)
+
+// testGraphs is every graph family the repository builds, at small
+// parameters, plus adversarial port relabelings. The equivalence
+// property below must hold on all of them.
+func testGraphs() map[string]*graph.Graph {
+	gs := map[string]*graph.Graph{
+		"ring6":         graph.Ring(6),
+		"ring7":         graph.Ring(7),
+		"path9":         graph.Path(9),
+		"clique5":       graph.Clique(5),
+		"star6":         graph.Star(6),
+		"bipartite-3-4": graph.CompleteBipartite(3, 4),
+		"grid-4-3":      graph.Grid(4, 3),
+		"hypercube3":    graph.Hypercube(3),
+		"lollipop-4-5":  graph.Lollipop(4, 5),
+		"torus-4-5":     graph.Torus(4, 5),
+		"torus-3-3":     graph.Torus(3, 3),
+		"binarytree3":   graph.BinaryTree(3),
+		"caterpillar":   graph.Caterpillar([]int{3, 0, 2, 1, 4}),
+		"wheel6":        graph.Wheel(6),
+		"wheeltail":     graph.WheelWithTail(5, 4),
+		"broom-3-6":     graph.Broom(3, 6),
+		"hk-5":          families.BuildHk(5, 3).G,
+		"necklace":      families.BuildNecklace(4, 3, 3, families.NecklaceCode(4, 3, 1)).G,
+		"s0-0":          families.BuildS0Member(1, 2, 0).G,
+		"s0-1":          families.BuildS0Member(1, 2, 1).G,
+		"hairy":         families.BuildHairyRing([]int{2, 0, 3, 1}).G,
+	}
+	zg, _ := families.ZLockGraph(5)
+	gs["zlock5"] = zg
+	for seed := int64(0); seed < 6; seed++ {
+		n := 20 + 13*int(seed)
+		gs[fmt.Sprintf("random-n%d-s%d", n, seed)] = graph.RandomConnected(n, n/2, seed)
+	}
+	gs["shuffled-torus"] = graph.ShufflePorts(graph.Torus(4, 4), 7)
+	gs["shuffled-hypercube"] = graph.ShufflePorts(graph.Hypercube(4), 3)
+	gs["shuffled-clique"] = graph.ShufflePorts(graph.Clique(7), 1)
+	return gs
+}
+
+// classIndices numbers views by first occurrence — the reference
+// numbering the part engine must reproduce exactly.
+func classIndices(vs []*view.View) []int {
+	idx := make(map[*view.View]int)
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		c, ok := idx[v]
+		if !ok {
+			c = len(idx)
+			idx[v] = c
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestPartMatchesViewRefinement is the equivalence property of
+// DESIGN.md §4: at every depth up to well past stabilization, the
+// partition engine's classes are bit-identical to first-occurrence
+// numbering of the interned views, on every family in the repository
+// and a seeded random sweep.
+func TestPartMatchesViewRefinement(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			tab := view.NewTable()
+			vr := view.NewRefinement(tab, g)
+			pr := part.NewRefiner(g)
+			// Iterate until the view refinement has been stable for two
+			// steps, checking class equality at every depth on the way.
+			stableRuns := 0
+			prevDistinct := -1
+			for depth := 0; stableRuns < 2 && depth < 4*g.N(); depth++ {
+				if vr.Distinct() != pr.NumClasses() {
+					t.Fatalf("depth %d: %d view classes, %d part classes",
+						depth, vr.Distinct(), pr.NumClasses())
+				}
+				want := classIndices(vr.Views())
+				got := pr.Classes()
+				for v := range want {
+					if want[v] != got[v] {
+						t.Fatalf("depth %d node %d: view class %d, part class %d",
+							depth, v, want[v], got[v])
+					}
+				}
+				reps := pr.Representatives()
+				if len(reps) != pr.NumClasses() {
+					t.Fatalf("depth %d: %d representatives for %d classes", depth, len(reps), pr.NumClasses())
+				}
+				for c, rep := range reps {
+					if got[rep] != c {
+						t.Fatalf("depth %d: representative %d of class %d is in class %d", depth, rep, c, got[rep])
+					}
+				}
+				if vr.Distinct() == prevDistinct {
+					stableRuns++
+				} else {
+					stableRuns = 0
+				}
+				prevDistinct = vr.Distinct()
+				vr.Step()
+				pr.Step()
+			}
+		})
+	}
+}
+
+// TestPartElectionIndexMatchesView pins φ, feasibility, the stable
+// partition, and the stabilization depth to the view implementations.
+func TestPartElectionIndexMatchesView(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			tab := view.NewTable()
+			wantPhi, wantOK := view.ElectionIndex(tab, g)
+			gotPhi, gotOK := part.ElectionIndex(g)
+			if wantPhi != gotPhi || wantOK != gotOK {
+				t.Errorf("ElectionIndex: view (%d,%v), part (%d,%v)", wantPhi, wantOK, gotPhi, gotOK)
+			}
+			if part.Feasible(g) != wantOK {
+				t.Errorf("Feasible: want %v", wantOK)
+			}
+			wantCls, wantDepth := view.StablePartition(tab, g)
+			gotCls, gotDepth := part.StablePartition(g)
+			if wantDepth != gotDepth {
+				t.Errorf("StablePartition depth: view %d, part %d", wantDepth, gotDepth)
+			}
+			for v := range wantCls {
+				if wantCls[v] != gotCls[v] {
+					t.Fatalf("StablePartition node %d: view class %d, part class %d", v, wantCls[v], gotCls[v])
+				}
+			}
+			for _, depth := range []int{0, 1, 2} {
+				want := view.Classes(tab, g, depth)
+				got := part.Classes(g, depth)
+				for v := range want {
+					if want[v] != got[v] {
+						t.Fatalf("Classes depth %d node %d: view %d, part %d", depth, v, want[v], got[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestElectionTrace checks that the trace agrees with ElectionIndex and
+// that per-depth representatives enumerate exactly one node per class.
+func TestElectionTrace(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			phi, reps, ok := part.ElectionTrace(g)
+			wantPhi, wantOK := part.ElectionIndex(g)
+			if phi != wantPhi || ok != wantOK {
+				t.Fatalf("trace (%d,%v) != index (%d,%v)", phi, ok, wantPhi, wantOK)
+			}
+			if !ok {
+				if reps != nil {
+					t.Fatalf("infeasible graph returned reps")
+				}
+				return
+			}
+			if len(reps) < phi+1 {
+				t.Fatalf("trace has %d depths, want >= %d", len(reps), phi+1)
+			}
+			for l := 0; l <= phi; l++ {
+				cls := part.Classes(g, l)
+				seen := make(map[int]bool)
+				for c, rep := range reps[l] {
+					if cls[rep] != c {
+						t.Fatalf("depth %d: rep %d of class %d is in class %d", l, rep, c, cls[rep])
+					}
+					if seen[c] {
+						t.Fatalf("depth %d: class %d has two representatives", l, c)
+					}
+					seen[c] = true
+				}
+				distinct := 0
+				counted := make(map[int]bool)
+				for _, c := range cls {
+					if !counted[c] {
+						counted[c] = true
+						distinct++
+					}
+				}
+				if len(reps[l]) != distinct {
+					t.Fatalf("depth %d: %d reps for %d classes", l, len(reps[l]), distinct)
+				}
+			}
+		})
+	}
+}
+
+// TestSingleNode pins the degenerate case to the view path's special
+// handling: one node, φ = 0, feasible, one singleton class.
+func TestSingleNode(t *testing.T) {
+	g := graph.NewBuilder(1).MustFinalize()
+	if phi, ok := part.ElectionIndex(g); phi != 0 || !ok {
+		t.Fatalf("ElectionIndex = (%d,%v), want (0,true)", phi, ok)
+	}
+	cls, depth := part.StablePartition(g)
+	if depth != 0 || len(cls) != 1 || cls[0] != 0 {
+		t.Fatalf("StablePartition = (%v,%d)", cls, depth)
+	}
+	phi, reps, ok := part.ElectionTrace(g)
+	if phi != 0 || !ok || len(reps) != 1 || len(reps[0]) != 1 || reps[0][0] != 0 {
+		t.Fatalf("ElectionTrace = (%d,%v,%v)", phi, reps, ok)
+	}
+}
