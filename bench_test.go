@@ -1,7 +1,7 @@
 package election
 
 // One benchmark per experiment row of DESIGN.md's per-experiment index
-// (E1-E20). Each bench reports, beyond ns/op, the paper-relevant custom
+// (E1-E21). Each bench reports, beyond ns/op, the paper-relevant custom
 // metrics (advice bits, rounds, ratios) via b.ReportMetric, so
 // `go test -bench=. -benchmem` regenerates the quantitative skeleton of
 // EXPERIMENTS.md.
@@ -425,6 +425,59 @@ func BenchmarkPartitionScale(b *testing.B) {
 			b.ReportMetric(float64(classes), "classes")
 		})
 	}
+}
+
+// E21 — end-to-end minimum-time election at scale (DESIGN.md §5): the
+// full Theorem 3.1 pipeline (ComputeAdvice → RunMinTime, which runs
+// Algorithm Elect on the class-sharing BSP engine and verifies the
+// outcome) on the same graph families as E20, two orders of magnitude
+// beyond what the per-node engines could carry. Beyond ns/op it reports
+// the election rounds and the interned representative views per round —
+// the quantity class sharing collapses from n to the class count.
+func BenchmarkElectionEndToEndScale(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		make func() *Graph
+	}{
+		{"random-n10000", func() *Graph { return RandomConnected(10_000, 5_000, 1) }},
+		{"random-n100000", func() *Graph { return RandomConnected(100_000, 50_000, 1) }},
+		{"torus-100x100", func() *Graph { return ShufflePorts(Torus(100, 100), 1) }},
+		{"torus-320x320", func() *Graph { return ShufflePorts(Torus(320, 320), 1) }},
+		{"hypercube-d13", func() *Graph { return ShufflePorts(Hypercube(13), 1) }},
+		{"hypercube-d17", func() *Graph { return ShufflePorts(Hypercube(17), 1) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			g := tc.make()
+			b.ResetTimer()
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				var err error
+				res, err = s.RunMinTime(g, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Time), "rounds")
+			b.ReportMetric(float64(res.AdviceBits), "advice-bits")
+			b.ReportMetric(float64(res.ClassViews)/float64(res.Time+1), "views/round")
+		})
+	}
+}
+
+// E21 (ablation) — the same end-to-end pipeline on the sequential
+// per-node engine at the largest size it comfortably carries, so the
+// BSP-vs-sequential gap stays machine-readable in the trajectory.
+func BenchmarkElectionEndToEndSequential(b *testing.B) {
+	g := RandomConnected(10_000, 5_000, 1)
+	b.Run("random-n10000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewSystem()
+			if _, err := s.RunMinTime(g, Options{Engine: SimSequential}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // E19 — raw view-interning throughput (DESIGN.md §1): a fresh table

@@ -1,4 +1,4 @@
-// Command bench runs the repository's E1–E20 benchmark rows and emits a
+// Command bench runs the repository's E1–E21 benchmark rows and emits a
 // machine-readable BENCH_<n>.json, so the performance trajectory across
 // PRs can be tracked without scraping `go test` text output.
 //

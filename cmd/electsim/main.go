@@ -17,9 +17,15 @@
 // dplusphi (remark after Theorem 4.1), index (no election run: just φ,
 // feasibility and the stable partition — the large-graph path).
 //
-// -engine selects how φ and the stable partition are computed: "part"
-// (the default view-free partition-refinement engine) or "view" (the
-// legacy interned-view refinement, for cross-checking and profiling).
+// -engine selects the computation engine:
+//
+//	bsp   class-sharing bulk-synchronous simulation (the default; use
+//	      -workers to size its decide-sweep pool), partition via part
+//	seq   sequential reference simulation, partition via part
+//	part  same as bsp (the historical name for the partition engine)
+//	view  legacy interned-view refinement for φ/partition, sequential
+//	      simulation — for cross-checking and profiling
+//
 // The -cpuprofile/-memprofile flags cover whichever path runs.
 package main
 
@@ -42,7 +48,8 @@ func main() {
 		n          = flag.Int("n", 16, "size parameter of the graph family")
 		seed       = flag.Int64("seed", 1, "seed for random graphs and port shuffles")
 		algo       = flag.String("algo", "mintime", "mintime, generic, milestone1..4, fullmap, dplusphi, index")
-		engine     = flag.String("engine", "part", "partition engine: part (view-free) or view (legacy)")
+		engine     = flag.String("engine", "bsp", "engine: bsp (class-sharing sim), seq (sequential sim), part (alias of bsp), view (legacy)")
+		workers    = flag.Int("workers", 0, "BSP decide-sweep workers (0 = GOMAXPROCS)")
 		x          = flag.Int("x", 0, "parameter x for -algo generic (default: the election index)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
 		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
@@ -80,12 +87,12 @@ func main() {
 				}
 			}()
 		}
-		return run(*graphKind, *load, *save, *algo, *engine, *n, *x, *seed, *concurrent, *wire)
+		return run(*graphKind, *load, *save, *algo, *engine, *n, *x, *workers, *seed, *concurrent, *wire)
 	}()
 	os.Exit(code)
 }
 
-func run(graphKind, load, save, algo, engine string, n, x int, seed int64, concurrent, wire bool) int {
+func run(graphKind, load, save, algo, engine string, n, x, workers int, seed int64, concurrent, wire bool) int {
 
 	var g *election.Graph
 	var err error
@@ -109,13 +116,18 @@ func run(graphKind, load, save, algo, engine string, n, x int, seed int64, concu
 		label = "file:" + load
 	}
 	var s *election.System
+	simEngine := election.SimBSP
 	switch engine {
-	case "part":
+	case "bsp", "part":
 		s = election.NewSystem()
+	case "seq":
+		s = election.NewSystem()
+		simEngine = election.SimSequential
 	case "view":
 		s = election.NewSystemWith(election.EngineView)
+		simEngine = election.SimSequential
 	default:
-		fmt.Fprintf(os.Stderr, "electsim: unknown engine %q (want part or view)\n", engine)
+		fmt.Fprintf(os.Stderr, "electsim: unknown engine %q (want bsp, seq, part or view)\n", engine)
 		return 1
 	}
 	start := time.Now()
@@ -150,7 +162,7 @@ func run(graphKind, load, save, algo, engine string, n, x int, seed int64, concu
 		return 2
 	}
 
-	opts := election.Options{Concurrent: concurrent, Wire: wire}
+	opts := election.Options{Engine: simEngine, Workers: workers, Concurrent: concurrent, Wire: wire}
 	var res *election.Result
 	switch algo {
 	case "mintime":
@@ -174,8 +186,18 @@ func run(graphKind, load, save, algo, engine string, n, x int, seed int64, concu
 		return 1
 	}
 	fmt.Printf("elected leader: node %d\n", res.Leader)
-	fmt.Printf("time: %d rounds (diameter %d, election index %d)\n", res.Time, g.Diameter(), phi)
+	// The diameter is an all-pairs BFS; beyond ~20k nodes it would dwarf
+	// the election itself, so the big runs the BSP engine unlocks skip it.
+	if g.N() <= 20_000 {
+		fmt.Printf("time: %d rounds (diameter %d, election index %d)\n", res.Time, g.Diameter(), phi)
+	} else {
+		fmt.Printf("time: %d rounds (election index %d)\n", res.Time, phi)
+	}
 	fmt.Printf("advice: %d bits\n", res.AdviceBits)
+	if res.ClassViews > 0 {
+		fmt.Printf("class views interned: %d (%.1f per round)\n",
+			res.ClassViews, float64(res.ClassViews)/float64(res.Time+1))
+	}
 	if res.Messages > 0 {
 		fmt.Printf("messages: %d", res.Messages)
 		if res.WireBits > 0 {

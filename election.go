@@ -148,14 +148,34 @@ func (s *System) ComputeAdvice(g *Graph) (*Advice, Bits, error) {
 	return a, a.Encode(), nil
 }
 
+// SimEngine selects the synchronous round engine for a run. All engines
+// are observationally identical (same Outputs, Rounds, Time, Messages);
+// they differ only in how a round is realized.
+type SimEngine int
+
+const (
+	// SimBSP is the default: the bulk-synchronous class-sharing engine
+	// (sim.RunBSP) — one part.Refiner step and one interned view per
+	// view class per round, Decide sweep over a worker pool. It is the
+	// engine that carries end-to-end elections to 100k-node graphs.
+	SimBSP SimEngine = iota
+	// SimSequential is the per-node deterministic loop, kept as the
+	// reference the class-sharing engine is pinned against.
+	SimSequential
+)
+
 // Options configures a simulation run. The zero value selects the
-// deterministic sequential engine with a generous round budget.
+// class-sharing bulk-synchronous engine with a generous round budget;
+// the Concurrent/Async flags override Engine with the message-passing
+// realizations (goroutine per node, event-driven asynchrony).
 type Options struct {
-	Concurrent bool  // one goroutine per node, channel message passing
-	Wire       bool  // serialize every message to bits (concurrent only)
-	Async      bool  // asynchronous network + time-stamp synchronizer
-	AsyncSeed  int64 // message-delay seed for Async runs
-	MaxRounds  int   // 0 means a default proportional to the graph size
+	Engine     SimEngine // synchronous engine: SimBSP (default) or SimSequential
+	Workers    int       // BSP decide-sweep workers; 0 = GOMAXPROCS
+	Concurrent bool      // one goroutine per node, channel message passing
+	Wire       bool      // serialize every message to bits (concurrent only)
+	Async      bool      // asynchronous network + time-stamp synchronizer
+	AsyncSeed  int64     // message-delay seed for Async runs
+	MaxRounds  int       // 0 means a default proportional to the graph size
 }
 
 // Result reports an election outcome.
@@ -167,6 +187,7 @@ type Result struct {
 	Rounds     []int   // per-node decision rounds
 	Messages   int     // total messages exchanged
 	WireBits   int     // total bits on the wire (Wire mode only)
+	ClassViews int     // representative views interned (SimBSP only)
 }
 
 func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result, error) {
@@ -185,8 +206,10 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 		}
 	case o.Concurrent:
 		res, err = sim.RunConcurrent(s.table(), g, f, maxRounds, o.Wire)
-	default:
+	case o.Engine == SimSequential:
 		res, err = sim.RunSequential(s.table(), g, f, maxRounds)
+	default:
+		res, err = sim.RunBSP(s.table(), g, f, maxRounds, o.Workers)
 	}
 	if err != nil {
 		return nil, err
@@ -199,18 +222,24 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 		Leader: leader, Time: res.Time, AdviceBits: adviceLen,
 		Outputs: res.Outputs, Rounds: res.Rounds,
 		Messages: res.Messages, WireBits: res.WireBits,
+		ClassViews: res.ClassViews,
 	}, nil
 }
 
 // RunMinTime performs the complete Theorem 3.1 pipeline on g: the oracle
 // computes O(n log n)-bit advice, every node runs Algorithm Elect, and
-// the election completes in exactly φ(g) rounds.
+// the election completes in exactly φ(g) rounds. The oracle's decoded
+// advice is handed to the factory directly — the advice is still encoded
+// once to report its bit length (and the encode/decode round trip stays
+// pinned by RunElect's tests), but the n deciders don't pay for a
+// decode of their own.
 func (s *System) RunMinTime(g *Graph, o Options) (*Result, error) {
-	_, enc, err := s.ComputeAdvice(g)
+	a, enc, err := s.ComputeAdvice(g)
 	if err != nil {
 		return nil, err
 	}
-	return s.RunElect(g, enc, o)
+	f := algorithms.NewElectFactoryDecoded(s.table(), a)
+	return s.run(g, f, enc.Len(), o)
 }
 
 // RunElect runs Algorithm Elect with an externally supplied advice

@@ -1,0 +1,185 @@
+package election
+
+// Property test for the engine-equivalence contract (DESIGN.md §5): the
+// class-sharing bulk-synchronous engine, the sequential reference and
+// the goroutine-per-node engine must be observationally identical —
+// same Outputs, Rounds, Time and Messages — on every graph family in
+// the repository plus a seeded random sweep. CI runs this under -race,
+// which also exercises the BSP worker pool and the shared labeler.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// equivalenceFamilies enumerates one representative of every graph
+// family in the repository: the paper's lower-bound constructions
+// (internal/families) and every generator the root package exports.
+func equivalenceFamilies() map[string]*Graph {
+	zg, _ := ZLockGraph(5)
+	h1 := BuildHairyRing([]int{2, 0, 3, 1})
+	h2 := BuildHairyRing([]int{1, 4, 0, 2})
+	s0a := BuildS0Member(1, 2, 0).Locked()
+	s0b := BuildS0Member(1, 2, 1).Locked()
+	x := max(s0a.G.MaxDegree(), s0b.G.MaxDegree())
+	return map[string]*Graph{
+		// internal/families constructions.
+		"hk":        BuildHk(5, 3).G,
+		"gk-member": BuildGkMember(5, 3, []int{0, 2, 1, 4, 3}).G,
+		"necklace":  BuildNecklace(4, 3, 3, NecklaceCode(4, 3, 1)).G,
+		"fx":        FXGraph(3, 1),
+		"s0":        BuildS0Member(1, 2, 0).G,
+		"zlock":     zg,
+		"merge":     Merge(s0a, s0b, MergeParams{Ell: 2, X: x, ChainLen: 4}).G,
+		"hairy":     h1.G,
+		"composed":  BuildComposed([]Cut{h1.CutAt(0), h2.CutAt(0)}, 6, 7).H.G,
+		// Generator families.
+		"ring":        Ring(6),
+		"path":        Path(7),
+		"clique":      Clique(5),
+		"star":        Star(6),
+		"k-bipartite": CompleteBipartite(3, 4),
+		"grid":        Grid(4, 3),
+		"hypercube":   Hypercube(3),
+		"torus":       Torus(3, 4),
+		"lollipop":    Lollipop(4, 3),
+		"binary-tree": BinaryTree(4),
+		"caterpillar": Caterpillar([]int{2, 0, 1, 3}),
+		"wheel":       Wheel(6),
+		"wheel-tail":  WheelWithTail(6, 3),
+		"broom":       Broom(3, 4),
+	}
+}
+
+// engineOptions are the three synchronous realizations under test.
+func engineOptions() map[string]Options {
+	return map[string]Options{
+		"bsp":        {Engine: SimBSP},
+		"sequential": {Engine: SimSequential},
+		"concurrent": {Concurrent: true},
+	}
+}
+
+func checkResultsAgree(t *testing.T, label string, results map[string]*Result) {
+	t.Helper()
+	ref := results["sequential"]
+	for engine, res := range results {
+		if res.Time != ref.Time || res.Messages != ref.Messages || res.Leader != ref.Leader {
+			t.Errorf("%s: %s (time=%d messages=%d leader=%d) != sequential (time=%d messages=%d leader=%d)",
+				label, engine, res.Time, res.Messages, res.Leader, ref.Time, ref.Messages, ref.Leader)
+		}
+		if !reflect.DeepEqual(res.Rounds, ref.Rounds) {
+			t.Errorf("%s: %s per-node rounds differ from sequential", label, engine)
+		}
+		if !reflect.DeepEqual(res.Outputs, ref.Outputs) {
+			t.Errorf("%s: %s per-node outputs differ from sequential", label, engine)
+		}
+	}
+}
+
+// TestEngineEquivalenceOnFamilies runs the full minimum-time pipeline on
+// every feasible family member with all three engines; infeasible
+// members (ring, hypercube, torus, ...) are covered by the synthetic
+// sweep below, since they reject election before any engine runs.
+func TestEngineEquivalenceOnFamilies(t *testing.T) {
+	for name, g := range equivalenceFamilies() {
+		s := NewSystem()
+		if !s.Feasible(g) {
+			continue
+		}
+		_, enc, err := s.ComputeAdvice(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results := make(map[string]*Result)
+		for engine, o := range engineOptions() {
+			res, err := s.RunElect(g, enc, o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, engine, err)
+			}
+			results[engine] = res
+		}
+		checkResultsAgree(t, name, results)
+	}
+}
+
+// degStop is a synthetic decider: a node stops at a round depending on
+// its degree, exercising decided-but-participating semantics without
+// needing feasibility.
+type degStop struct{ round int }
+
+func (d *degStop) Decide(r int, b *view.View) ([]int, bool) {
+	if r >= d.round {
+		return []int{}, true
+	}
+	return nil, false
+}
+
+// TestEngineEquivalenceSynthetic drives all three engines below the
+// election layer with the synthetic decider on every family, feasible or
+// not (ring, hypercube, torus reject election before any engine runs, so
+// this is where their exchange semantics get compared), checking the
+// exact per-round message accounting.
+func TestEngineEquivalenceSynthetic(t *testing.T) {
+	for name, g := range equivalenceFamilies() {
+		mk := func() sim.Factory {
+			return func(simID, deg int) sim.Decider {
+				return &degStop{round: 1 + deg%3}
+			}
+		}
+		ref, err := sim.RunSequential(view.NewTable(), g, mk(), 100)
+		if err != nil {
+			t.Fatalf("%s/sequential: %v", name, err)
+		}
+		for engine, run := range map[string]func() (*sim.Result, error){
+			"bsp": func() (*sim.Result, error) {
+				return sim.RunBSP(view.NewTable(), g, mk(), 100, 0)
+			},
+			"concurrent": func() (*sim.Result, error) {
+				return sim.RunConcurrent(view.NewTable(), g, mk(), 100, false)
+			},
+		} {
+			res, err := run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, engine, err)
+			}
+			if res.Time != ref.Time || res.Messages != ref.Messages ||
+				!reflect.DeepEqual(res.Rounds, ref.Rounds) ||
+				!reflect.DeepEqual(res.Outputs, ref.Outputs) {
+				t.Errorf("%s: %s disagrees with sequential", name, engine)
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceRandomSweep is the seeded random sweep: min-time
+// election across engines on RandomConnected instances of varied size
+// and density.
+func TestEngineEquivalenceRandomSweep(t *testing.T) {
+	for _, n := range []int{10, 25, 60} {
+		for seed := int64(0); seed < 4; seed++ {
+			g := RandomConnected(n, n/2+int(seed), seed)
+			s := NewSystem()
+			if !s.Feasible(g) {
+				continue
+			}
+			_, enc, err := s.ComputeAdvice(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results := make(map[string]*Result)
+			for engine, o := range engineOptions() {
+				res, err := s.RunElect(g, enc, o)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d %s: %v", n, seed, engine, err)
+				}
+				results[engine] = res
+			}
+			checkResultsAgree(t, fmt.Sprintf("random-n%d-s%d", n, seed), results)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/part"
@@ -29,11 +30,17 @@ type LabeledTreeEdge struct {
 
 // Advice is the decoded form of the oracle's output. Nodes executing
 // Algorithm Elect reconstruct exactly this structure from the bit string.
+// One decoded Advice is shared read-only by every decider of a run; the
+// parent index over Tree is derived once, lazily, instead of per node
+// per PathToLeader call.
 type Advice struct {
 	Phi  int               // election index of the graph
 	E1   *trie.Trie        // discriminates depth-1 views
 	E2   trie.E2           // discriminates deeper views, level by level
 	Tree []LabeledTreeEdge // canonical BFS tree, labels in {1..n}, root label 1
+
+	parentOnce sync.Once
+	parent     map[int]LabeledTreeEdge // child label → tree edge to its parent
 }
 
 // Oracle holds the state shared between advice computation and any
@@ -118,7 +125,7 @@ func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
 			}
 		}
 		sort.Slice(couples, func(a, b int) bool { return couples[a].J < couples[b].J })
-		e2 = append(e2, trie.LevelList{Depth: i, Couples: couples})
+		e2 = append(e2, trie.NewLevelList(i, couples))
 	}
 
 	// Final labels at depth phi; find the root r with label 1 and build
@@ -177,10 +184,14 @@ func (a *Advice) PathToLeader(x int) ([]int, error) {
 	if x == 1 {
 		return []int{}, nil
 	}
-	parent := make(map[int]LabeledTreeEdge, len(a.Tree))
-	for _, e := range a.Tree {
-		parent[e.ChildLabel] = e
-	}
+	a.parentOnce.Do(func() {
+		parent := make(map[int]LabeledTreeEdge, len(a.Tree))
+		for _, e := range a.Tree {
+			parent[e.ChildLabel] = e
+		}
+		a.parent = parent
+	})
+	parent := a.parent
 	var ports []int
 	cur := x
 	for cur != 1 {

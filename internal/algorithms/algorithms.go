@@ -28,25 +28,35 @@ import (
 	"repro/internal/view"
 )
 
-// Elect is Algorithm 6. All nodes share the decoded advice and a labeler
-// over the common view table.
+// Elect is Algorithm 6. All nodes share the decoded advice and one
+// concurrency-safe labeler over the common view table.
 type Elect struct {
 	Adv *advice.Advice
-	Lab *trie.Labeler
+	Lab *trie.SharedLabeler
 }
 
 // NewElectFactory returns a sim.Factory running Algorithm Elect with the
-// given advice bit string, as decoded independently by every node.
+// given advice bit string. The string is decoded once, here; the decoded
+// structure (and the label memo, a pure function of advice and view) is
+// shared read-only by every decider — per-node re-decoding was both
+// redundant work and, for the label memo, an O(n · ball) blowup.
 func NewElectFactory(tab *view.Table, advBits bits.String) (sim.Factory, error) {
 	adv, err := advice.Decode(advBits)
 	if err != nil {
 		return nil, err
 	}
+	return NewElectFactoryDecoded(tab, adv), nil
+}
+
+// NewElectFactoryDecoded is NewElectFactory for advice that is already
+// decoded (RunMinTime holds the oracle's decoded output, so encoding it
+// just to decode it again would be wasted work — the encoded length is
+// still what experiments report).
+func NewElectFactoryDecoded(tab *view.Table, adv *advice.Advice) sim.Factory {
+	lab := trie.NewSharedLabeler(tab)
 	return func(simID, deg int) sim.Decider {
-		// Each node owns its labeler (its private scratch memory); the
-		// interning table is shared infrastructure and is thread-safe.
-		return &Elect{Adv: adv, Lab: trie.NewLabeler(tab)}
-	}, nil
+		return &Elect{Adv: adv, Lab: lab}
+	}
 }
 
 // Decide implements sim.Decider: wait until round φ, compute the unique
@@ -108,12 +118,11 @@ func (g *Generic) Decide(r int, b *view.View) ([]int, bool) {
 			return nil, false // Y brought a new view; keep going
 		}
 	}
-	var bmin *view.View
+	cand := make([]*view.View, 0, len(inX))
 	for v := range inX {
-		if bmin == nil || g.Tab.Compare(v, bmin) < 0 {
-			bmin = v
-		}
+		cand = append(cand, v)
 	}
+	bmin := minByRank(g.Tab, cand)
 	path := g.Tab.LexShortestPathTo(b, bmin, g.X, r-g.X)
 	if path == nil {
 		// Unreachable when x >= φ; returning a self-election makes a
@@ -121,6 +130,25 @@ func (g *Generic) Decide(r int, b *view.View) ([]int, bool) {
 		return []int{}, true
 	}
 	return path, true
+}
+
+// minByRank returns the canonically smallest view of a non-empty
+// equal-depth candidate set. It fetches all packed canonical ranks in
+// one batch (view.Table.Ranks) and reduces with integer compares — the
+// deciders' hot-path form of Table.Min, pinned to Table.Compare by
+// TestMinByRankMatchesCompare.
+func minByRank(tab *view.Table, cand []*view.View) *view.View {
+	if len(cand) == 0 {
+		return nil
+	}
+	ranks := tab.Ranks(cand, nil)
+	best := 0
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] < ranks[best] {
+			best = i
+		}
+	}
+	return cand[best]
 }
 
 // TowerCap is the saturation value of Tower; values at or above it mean
@@ -367,15 +395,13 @@ func (a *DPlusPhi) Decide(r int, b *view.View) ([]int, bool) {
 	levels := view.LevelSets(b)
 	// The minimum over the multiset of depth-Phi truncations equals the
 	// minimum over the set, so no dedup pass is needed.
-	var bmin *view.View
+	var cand []*view.View
 	for j := 0; j <= a.D; j++ {
 		for _, w := range levels[j] {
-			t := a.Tab.TruncateTo(w, a.Phi)
-			if bmin == nil || a.Tab.Compare(t, bmin) < 0 {
-				bmin = t
-			}
+			cand = append(cand, a.Tab.TruncateTo(w, a.Phi))
 		}
 	}
+	bmin := minByRank(a.Tab, cand)
 	path := a.Tab.LexShortestPathTo(b, bmin, a.Phi, a.D)
 	if path == nil {
 		return []int{}, true

@@ -1,0 +1,77 @@
+package algorithms
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/advice"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// TestDecidersIgnoreSimID guards the anonymity discipline around the
+// shared decoded advice: the sim id handed to the factory is harness
+// bookkeeping only, so scrambling it must not change any output. (A
+// decider that keyed anything — e.g. a labeler or the shared advice —
+// on simID would break here.)
+func TestDecidersIgnoreSimID(t *testing.T) {
+	g := graph.RandomConnected(24, 12, 5)
+	tab := view.NewTable()
+	o := advice.NewOracle(tab)
+	a, err := o.ComputeAdvice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := a.Encode()
+
+	factories := map[string]func() (sim.Factory, error){
+		"elect": func() (sim.Factory, error) { return NewElectFactory(tab, enc) },
+		"elect-decoded": func() (sim.Factory, error) {
+			return NewElectFactoryDecoded(tab, a), nil
+		},
+		"generic": func() (sim.Factory, error) { return NewGenericFactory(tab, a.Phi), nil },
+		"dplusphi": func() (sim.Factory, error) {
+			return NewDPlusPhiFactory(tab, DPlusPhiAdvice(g.Diameter(), a.Phi))
+		},
+	}
+	for name, mk := range factories {
+		f, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		scrambled := func(simID, deg int) sim.Decider {
+			return f(1000+37*simID, deg)
+		}
+		r1, err := sim.RunSequential(tab, g, f, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r2, err := sim.RunSequential(tab, g, scrambled, 200)
+		if err != nil {
+			t.Fatalf("%s scrambled: %v", name, err)
+		}
+		if !reflect.DeepEqual(r1.Outputs, r2.Outputs) || !reflect.DeepEqual(r1.Rounds, r2.Rounds) {
+			t.Errorf("%s: outputs depend on simID", name)
+		}
+	}
+}
+
+// TestMinByRankMatchesCompare pins the deciders' integer-rank minimum
+// selection to Table.Compare, the single canonical order implementation.
+func TestMinByRankMatchesCompare(t *testing.T) {
+	g := graph.RandomConnected(40, 30, 9)
+	tab := view.NewTable()
+	levels := view.Levels(tab, g, 4)
+	for depth, vs := range levels {
+		for _, size := range []int{1, 2, 7, len(vs)} {
+			cand := vs[:size]
+			if got, want := minByRank(tab, cand), tab.Min(cand); got != want {
+				t.Errorf("depth %d size %d: minByRank != Table.Min", depth, size)
+			}
+		}
+	}
+	if minByRank(tab, nil) != nil {
+		t.Error("minByRank(nil) should be nil")
+	}
+}

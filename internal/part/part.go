@@ -149,6 +149,24 @@ func (r *Refiner) Representatives() []int {
 	return out
 }
 
+// Representative returns the smallest node id of class c at the current
+// depth, in O(1) and without allocating — the per-round form of
+// Representatives for engines that pump Step incrementally.
+func (r *Refiner) Representative(c int) int { return int(r.order[r.start[c]]) }
+
+// CopyClasses fills dst (grown as needed) with the per-node classes at
+// the current depth and returns it. It is Classes with a caller-owned
+// buffer, so an engine stepping the refiner once per round can trace the
+// class history without per-round allocation.
+func (r *Refiner) CopyClasses(dst []int32) []int32 {
+	if cap(dst) < r.n {
+		dst = make([]int32, r.n)
+	}
+	dst = dst[:r.n]
+	copy(dst, r.class)
+	return dst
+}
+
 // regroup rebuilds order/start from class by counting sort, so nodes of
 // a class are contiguous and ascend by id.
 func (r *Refiner) regroup() {

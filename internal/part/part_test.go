@@ -215,3 +215,28 @@ func TestSingleNode(t *testing.T) {
 		t.Fatalf("ElectionTrace = (%d,%v,%v)", phi, reps, ok)
 	}
 }
+
+// TestIncrementalAPIMatchesBatch checks the per-round engine surface:
+// CopyClasses and Representative must agree with the allocating Classes
+// and Representatives at every depth, with the caller's buffer reused.
+func TestIncrementalAPIMatchesBatch(t *testing.T) {
+	g := graph.RandomConnected(50, 30, 13)
+	r := part.NewRefiner(g)
+	var buf []int32
+	for depth := 0; depth < 6; depth++ {
+		buf = r.CopyClasses(buf)
+		want := r.Classes()
+		for v := range want {
+			if int(buf[v]) != want[v] {
+				t.Fatalf("depth %d: CopyClasses[%d] = %d, want %d", depth, v, buf[v], want[v])
+			}
+		}
+		reps := r.Representatives()
+		for c, w := range reps {
+			if r.Representative(c) != w {
+				t.Fatalf("depth %d: Representative(%d) = %d, want %d", depth, c, r.Representative(c), w)
+			}
+		}
+		r.Step()
+	}
+}

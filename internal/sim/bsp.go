@@ -1,0 +1,233 @@
+// Bulk-synchronous class-sharing engine.
+//
+// RunSequential and RunConcurrent realize a round by building one view
+// per node (and, concurrently, one goroutine per node and one channel
+// per directed edge). But nodes in the same view-equivalence class at
+// depth r carry *identical* B^r(v) — the Yamashita–Kameda quotient
+// argument behind Proposition 2.1 — so a round only ever needs one
+// interned view per class. RunBSP exploits that: a view-free
+// part.Refiner step tracks the classes per round in O(n+m), one
+// representative view per class is interned (tab.MakeBatch over a packed
+// edge matrix of the representatives), every node reads its view as
+// cur[v] = classView[class[v]], and the Decide sweep is batched over a
+// worker pool sharded by node ranges with a barrier per round. Once the
+// class count stops growing the partition is stable forever and the
+// refiner is left frozen — later rounds only deepen the class views.
+//
+// The engine is observationally identical to RunSequential (same
+// Outputs, Rounds, Time, Messages, and — because interning makes
+// structural equality pointer equality — the very same *view.View
+// handles reach the deciders). All buffers are reused across rounds.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/view"
+)
+
+// RunBSP executes the synchronous protocol with class-shared views and a
+// worker-pool decide sweep. workers <= 0 selects GOMAXPROCS. It must
+// behave exactly like RunSequential on every input; deciders may be
+// invoked from multiple goroutines (for different nodes), the same
+// discipline RunConcurrent already imposes.
+func RunBSP(tab *view.Table, g *graph.Graph, f Factory, maxRounds, workers int) (*Result, error) {
+	n := g.N()
+	deciders := make([]Decider, n)
+	for v := 0; v < n; v++ {
+		deciders[v] = f(v, g.Deg(v))
+	}
+	res := &Result{Outputs: make([][]int, n), Rounds: make([]int, n)}
+	done := make([]bool, n)
+
+	// Partition state. classCur[v] is v's class at the current depth;
+	// cv[c] the interned view of class c (== B^r(v) for every member v).
+	ref := part.NewRefiner(g)
+	classCur := ref.CopyClasses(nil)
+	classPrev := make([]int32, n)
+	k := ref.NumClasses()
+	cvCur := make([]*view.View, n)
+	cvNext := make([]*view.View, n)
+	degs := make([]int, k)
+	for c := 0; c < k; c++ {
+		degs[c] = g.Deg(ref.Representative(c))
+	}
+	tab.LeafBatch(degs, cvCur[:k])
+	res.ClassViews += k
+	stable := k == n
+
+	// Packed edge matrix of the class representatives, rebuilt in place
+	// every round; sized for the worst case (all classes singleton).
+	flat := make([]view.Edge, 0, 2*g.M())
+	off := make([]int32, n+1)
+
+	sweep := newSweeper(n, workers, deciders, done, res)
+	defer sweep.close()
+
+	remaining := n
+	for r := 0; ; r++ {
+		remaining -= sweep.run(r, classCur, cvCur)
+		if remaining == 0 {
+			break
+		}
+		if r >= maxRounds {
+			return nil, fmt.Errorf("sim: %d nodes undecided after %d rounds", remaining, maxRounds)
+		}
+
+		// Advance the partition to depth r+1. The class count is
+		// non-decreasing and the first repeat means the partition — and
+		// its first-occurrence numbering — is stable forever, so the
+		// refiner is frozen from then on and the depth-(r+1) classes
+		// alias the depth-r ones.
+		prev := classCur // classes at depth r, for the children lookup
+		if !stable {
+			ref.Step()
+			if ref.NumClasses() == k {
+				stable = true
+			} else {
+				classPrev, classCur = classCur, classPrev
+				classCur = ref.CopyClasses(classCur)
+				k = ref.NumClasses()
+				prev = classPrev
+				stable = k == n
+			}
+		}
+
+		// One representative view per depth-(r+1) class: the rows of the
+		// packed matrix are the representatives' port lists with children
+		// read through the depth-r classes.
+		flat = flat[:0]
+		for c := 0; c < k; c++ {
+			w := ref.Representative(c)
+			for p := 0; p < g.Deg(w); p++ {
+				h := g.At(w, p)
+				flat = append(flat, view.Edge{RemotePort: h.RemotePort, Child: cvCur[prev[h.To]]})
+			}
+			off[c+1] = int32(len(flat))
+		}
+		tab.MakeBatch(flat, off[:k+1], cvNext[:k])
+		cvCur, cvNext = cvNext, cvCur
+		res.ClassViews += k
+		res.Messages += 2 * g.M()
+	}
+	for _, r := range res.Rounds {
+		if r > res.Time {
+			res.Time = r
+		}
+	}
+	return res, nil
+}
+
+// sweeper runs the per-round Decide sweep over a pool of persistent
+// workers, each owning contiguous node ranges. Small runs (or workers
+// == 1) stay on the calling goroutine: the pool exists for the rounds
+// where per-node decision work dominates, not to tax unit-test graphs.
+type sweeper struct {
+	n        int
+	deciders []Decider
+	done     []bool
+	res      *Result
+
+	workers int
+	chunk   int
+	jobs    chan sweepJob
+	wg      sync.WaitGroup
+
+	round    int
+	class    []int32
+	cv       []*view.View
+	decided  atomic.Int64
+	panicMu  sync.Mutex
+	panicked any
+}
+
+type sweepJob struct{ lo, hi int }
+
+// sweepInlineBelow is the node count under which the pool is bypassed.
+const sweepInlineBelow = 2048
+
+func newSweeper(n, workers int, deciders []Decider, done []bool, res *Result) *sweeper {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &sweeper{n: n, deciders: deciders, done: done, res: res, workers: workers}
+	if workers == 1 || n < sweepInlineBelow {
+		s.workers = 1
+		return s
+	}
+	// ~4 chunks per worker so uneven per-node decision cost (nodes near
+	// deciding do real work, decided nodes are skipped) still balances.
+	s.chunk = (n + 4*workers - 1) / (4 * workers)
+	s.jobs = make(chan sweepJob)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for job := range s.jobs {
+				s.runRange(job.lo, job.hi)
+				s.wg.Done()
+			}
+		}()
+	}
+	return s
+}
+
+// run performs the round-r sweep and returns how many nodes decided.
+func (s *sweeper) run(r int, class []int32, cv []*view.View) int {
+	s.round, s.class, s.cv = r, class, cv
+	s.decided.Store(0)
+	if s.workers == 1 {
+		s.runRange(0, s.n)
+	} else {
+		for lo := 0; lo < s.n; lo += s.chunk {
+			hi := lo + s.chunk
+			if hi > s.n {
+				hi = s.n
+			}
+			s.wg.Add(1)
+			s.jobs <- sweepJob{lo, hi}
+		}
+		s.wg.Wait()
+	}
+	if s.panicked != nil {
+		// Re-raise on the engine goroutine so a decider panic surfaces
+		// to the caller exactly like RunSequential's would.
+		panic(s.panicked)
+	}
+	return int(s.decided.Load())
+}
+
+func (s *sweeper) runRange(lo, hi int) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panicMu.Lock()
+			if s.panicked == nil {
+				s.panicked = p
+			}
+			s.panicMu.Unlock()
+		}
+	}()
+	count := int64(0)
+	for v := lo; v < hi; v++ {
+		if s.done[v] {
+			continue
+		}
+		out, ok := s.deciders[v].Decide(s.round, s.cv[s.class[v]])
+		if ok {
+			s.res.Outputs[v] = out
+			s.res.Rounds[v] = s.round
+			s.done[v] = true
+			count++
+		}
+	}
+	s.decided.Add(count)
+}
+
+func (s *sweeper) close() {
+	if s.jobs != nil {
+		close(s.jobs)
+	}
+}

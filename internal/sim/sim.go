@@ -7,13 +7,17 @@
 // decision program after every round (this is the COM(i) subroutine,
 // Algorithm 1, iterated).
 //
-// Two engines are provided and must be observationally identical:
+// Three engines are provided and must be observationally identical:
 //
 //   - the concurrent engine runs one goroutine per node and moves view
 //     messages across buffered channels, one channel per directed edge —
 //     the natural Go realization of a message-passing network;
 //   - the sequential engine performs the same exchange in a deterministic
-//     loop and is used for cross-validation and large runs.
+//     loop and is the reference the others are pinned against;
+//   - the bulk-synchronous class-sharing engine (RunBSP, see bsp.go)
+//     interns one view per view-equivalence class per round and batches
+//     the decide sweep over a worker pool — the engine that carries
+//     end-to-end elections to 100k-node graphs.
 //
 // A third mode, wire mode, serializes every message to a bit string and
 // decodes it on arrival, demonstrating that only B^i(v) information ever
@@ -55,6 +59,10 @@ type Result struct {
 	Time     int     // max over Rounds — the paper's time measure
 	Messages int     // total messages exchanged (2·m per round run)
 	WireBits int     // total bits on the wire (wire mode only)
+	// ClassViews counts the representative views interned across all
+	// rounds — the class-sharing engine's whole interning volume, at
+	// most (Time+1)·n but typically far less (RunBSP only).
+	ClassViews int
 }
 
 // DefaultMaxRounds bounds runaway programs relative to the graph size.
@@ -73,7 +81,9 @@ func RunSequential(tab *view.Table, g *graph.Graph, f Factory, maxRounds int) (*
 
 	cur := make([]*view.View, n)
 	next := make([]*view.View, n)
-	var edges []view.Edge
+	// One scratch for the whole run, sized to the largest degree up
+	// front (Make copies, so the slice is reusable across nodes).
+	edges := make([]view.Edge, g.MaxDegree())
 	for v := 0; v < n; v++ {
 		cur[v] = tab.Leaf(g.Deg(v))
 	}
@@ -98,9 +108,6 @@ func RunSequential(tab *view.Table, g *graph.Graph, f Factory, maxRounds int) (*
 		}
 		for v := 0; v < n; v++ {
 			deg := g.Deg(v)
-			if cap(edges) < deg {
-				edges = make([]view.Edge, deg)
-			}
 			e := edges[:deg]
 			for p := 0; p < deg; p++ {
 				h := g.At(v, p)
@@ -109,6 +116,9 @@ func RunSequential(tab *view.Table, g *graph.Graph, f Factory, maxRounds int) (*
 			next[v] = tab.Make(e)
 		}
 		cur, next = next, cur
+		// Counted here, after the round's exchange actually happened: a
+		// run that ends with the decide sweep never bills an exchange it
+		// did not perform.
 		res.Messages += 2 * g.M()
 	}
 	for _, r := range res.Rounds {

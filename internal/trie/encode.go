@@ -96,7 +96,7 @@ func E2FromTokens(tokens []int) (E2, error) {
 		}
 		depth, nCouples := tokens[pos], tokens[pos+1]
 		pos += 2
-		level := LevelList{Depth: depth}
+		var couples []Couple
 		for c := 0; c < nCouples; c++ {
 			if pos >= len(tokens) {
 				return nil, errors.New("trie: truncated E2 couple")
@@ -108,9 +108,9 @@ func E2FromTokens(tokens []int) (E2, error) {
 				return nil, err
 			}
 			pos += used
-			level.Couples = append(level.Couples, Couple{J: j, T: t})
+			couples = append(couples, Couple{J: j, T: t})
 		}
-		e2 = append(e2, level)
+		e2 = append(e2, NewLevelList(depth, couples))
 	}
 	if pos != len(tokens) {
 		return nil, fmt.Errorf("trie: %d trailing E2 tokens", len(tokens)-pos)

@@ -1,0 +1,85 @@
+package trie
+
+import (
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/view"
+)
+
+// SharedLabeler evaluates RetrieveLabel like Labeler but is safe for
+// concurrent use, so one instance can back every node of a simulation
+// run. Labels are pure functions of (view, E1, E2); sharing the memo
+// across deciders changes no output, it only makes each distinct view's
+// label be computed once per run instead of once per node — on large
+// graphs the difference between O(Σ_l k_l) and O(n · ball) trie work.
+// An instance must only ever be queried with one (E1, E2) pair, exactly
+// like the per-node Labeler it replaces (Algorithm Elect's discipline).
+//
+// The memo and the depth-1 encoding cache are striped by the view's
+// interning identity. A label may be computed twice under contention;
+// both writers store the same value, so the race is benign and the maps
+// themselves are still guarded.
+type SharedLabeler struct {
+	Tab    *view.Table
+	shards [labelShards]labelShard
+}
+
+const labelShards = 64
+
+type labelShard struct {
+	mu   sync.RWMutex
+	memo map[*view.View]int
+	enc1 map[*view.View]bits.String
+}
+
+// NewSharedLabeler returns a SharedLabeler over the given table.
+func NewSharedLabeler(tab *view.Table) *SharedLabeler {
+	sl := &SharedLabeler{Tab: tab}
+	for i := range sl.shards {
+		sl.shards[i].memo = make(map[*view.View]int)
+		sl.shards[i].enc1 = make(map[*view.View]bits.String)
+	}
+	return sl
+}
+
+func (sl *SharedLabeler) shard(v *view.View) *labelShard {
+	return &sl.shards[v.ID()&(labelShards-1)]
+}
+
+// Encode1 returns the cached bin(B^1) encoding of a depth-1 view.
+func (sl *SharedLabeler) Encode1(v *view.View) bits.String {
+	s := sl.shard(v)
+	s.mu.RLock()
+	enc, ok := s.enc1[v]
+	s.mu.RUnlock()
+	if ok {
+		return enc
+	}
+	enc = view.EncodeDepth1(v)
+	s.mu.Lock()
+	s.enc1[v] = enc
+	s.mu.Unlock()
+	return enc
+}
+
+// LocalLabel is Algorithm 2 of the paper; see Labeler.LocalLabel.
+func (sl *SharedLabeler) LocalLabel(b *view.View, x []int, t *Trie) int {
+	return localLabel(sl, b, x, t)
+}
+
+// RetrieveLabel is Algorithm 3 of the paper; see Labeler.RetrieveLabel.
+func (sl *SharedLabeler) RetrieveLabel(b *view.View, e1 *Trie, e2 E2) int {
+	s := sl.shard(b)
+	s.mu.RLock()
+	v, ok := s.memo[b]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	out := retrieveLabel(sl, sl.Tab, b, e1, e2)
+	s.mu.Lock()
+	s.memo[b] = out
+	s.mu.Unlock()
+	return out
+}

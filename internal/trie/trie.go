@@ -16,6 +16,7 @@ package trie
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bits"
 	"repro/internal/view"
@@ -62,22 +63,99 @@ type Couple struct {
 	T *Trie
 }
 
-// LevelList is one entry (i, L(i)) of the nested list E2.
+// LevelList is one entry (i, L(i)) of the nested list E2. The unexported
+// index, when built (BuildIndex), turns the label-sum loop of
+// RetrieveLabel from a linear scan over {1..label} into two binary
+// searches; it is derived data only and never serialized.
 type LevelList struct {
 	Depth   int
 	Couples []Couple
+	idx     *levelIndex
+}
+
+// levelIndex is the precomputed form of a couple list: the couples that
+// the scan of RetrieveLabel can ever select (first occurrence of each J,
+// ascending), with prefix sums of (Leaves − 1). It is immutable after
+// construction, so sharing it across concurrently labeling nodes is safe.
+type levelIndex struct {
+	js  []int    // distinct Js, ascending
+	ts  []*Trie  // trie of each J
+	cum []int    // cum[i] = Σ_{k<i} (ts[k].Leaves() − 1)
+}
+
+func newLevelIndex(cs []Couple) *levelIndex {
+	// Keep the first couple of each J — findCouple returns the first
+	// match, so later duplicates are unreachable in the reference scan.
+	firstByJ := make(map[int]*Trie, len(cs))
+	ix := &levelIndex{}
+	for _, c := range cs {
+		if _, dup := firstByJ[c.J]; !dup {
+			firstByJ[c.J] = c.T
+			ix.js = append(ix.js, c.J)
+		}
+	}
+	sort.Ints(ix.js)
+	ix.ts = make([]*Trie, len(ix.js))
+	ix.cum = make([]int, len(ix.js)+1)
+	for i, j := range ix.js {
+		ix.ts[i] = firstByJ[j]
+		ix.cum[i+1] = ix.cum[i] + ix.ts[i].Leaves() - 1
+	}
+	return ix
+}
+
+// sumBelow returns Σ over couples with 1 <= J < label of (Leaves − 1),
+// plus the trie at exactly label (nil if none) — everything the label-sum
+// of RetrieveLabel needs, in O(log #couples).
+func (ix *levelIndex) sumBelow(label int) (int, *Trie) {
+	lo := sort.SearchInts(ix.js, label)
+	sum := ix.cum[lo]
+	// Couples with J < 1 never contribute: the reference scan starts at 1.
+	if neg := sort.SearchInts(ix.js, 1); neg > 0 {
+		sum -= ix.cum[neg]
+	}
+	var at *Trie
+	if lo < len(ix.js) && ix.js[lo] == label {
+		at = ix.ts[lo]
+	}
+	return sum, at
+}
+
+// NewLevelList returns the (depth, couples) entry with its label-sum
+// index prebuilt; ComputeAdvice and the advice decoder construct levels
+// through it so every later RetrieveLabel takes the indexed path.
+func NewLevelList(depth int, couples []Couple) LevelList {
+	return LevelList{Depth: depth, Couples: couples, idx: newLevelIndex(couples)}
 }
 
 // E2 is the nested list built by ComputeAdvice: one LevelList per depth
 // from 2 up to the election index. E2 for depth 1 is empty.
 type E2 []LevelList
 
+// BuildIndex precomputes the per-level label-sum index used by
+// RetrieveLabel. ComputeAdvice and the advice decoder call it once per
+// E2 before any labeling; hand-assembled E2 values work without it (the
+// reference scan is kept as the fallback).
+func (e E2) BuildIndex() {
+	for k := range e {
+		e[k].idx = newLevelIndex(e[k].Couples)
+	}
+}
+
+// levelEntry returns the LevelList for the given depth, or nil.
+func (e E2) levelEntry(depth int) *LevelList {
+	for k := range e {
+		if e[k].Depth == depth {
+			return &e[k]
+		}
+	}
+	return nil
+}
+
 // level returns the couple list for the given depth, or nil.
 func (e E2) level(depth int) []Couple {
-	for _, l := range e {
-		if l.Depth == depth {
-			return l.Couples
-		}
+	if l := e.levelEntry(depth); l != nil {
+		return l.Couples
 	}
 	return nil
 }
@@ -123,11 +201,17 @@ func (lb *Labeler) Encode1(v *view.View) bits.String {
 	return s
 }
 
-// LocalLabel is Algorithm 2 of the paper. B is an augmented truncated
-// view, x the list of temporary labels previously assigned to the
-// children of B's root (nil at depth 1), and t a trie discriminating the
-// candidate set containing B. It returns a 1-based leaf rank.
-func (lb *Labeler) LocalLabel(b *view.View, x []int, t *Trie) int {
+// evaluator is the recursion surface shared by Labeler and
+// SharedLabeler: the free functions localLabel and retrieveLabel call
+// back through it so that child labels and depth-1 encodings hit the
+// concrete type's memo (a plain map or a lock-striped one).
+type evaluator interface {
+	RetrieveLabel(b *view.View, e1 *Trie, e2 E2) int
+	Encode1(v *view.View) bits.String
+}
+
+// localLabel is Algorithm 2 of the paper (see Labeler.LocalLabel).
+func localLabel(lb evaluator, b *view.View, x []int, t *Trie) int {
 	if t.IsLeaf() {
 		return 1
 	}
@@ -155,9 +239,65 @@ func (lb *Labeler) LocalLabel(b *view.View, x []int, t *Trie) int {
 		}
 	}
 	if left {
-		return lb.LocalLabel(b, x, t.Left)
+		return localLabel(lb, b, x, t.Left)
 	}
-	return t.Left.Leaves() + lb.LocalLabel(b, x, t.Right)
+	return t.Left.Leaves() + localLabel(lb, b, x, t.Right)
+}
+
+// retrieveLabel is Algorithm 3 of the paper (see Labeler.RetrieveLabel),
+// minus the memo handled by the caller. When the level carries a
+// prebuilt index, the label-sum over {1..label} collapses to two binary
+// searches plus one trie descent; the reference scan remains for
+// hand-assembled E2 values (and for out-of-range labels from corrupt
+// advice, whose observable behaviour it defines).
+func retrieveLabel(lb evaluator, tab *view.Table, b *view.View, e1 *Trie, e2 E2) int {
+	if b.Depth == 1 {
+		return localLabel(lb, b, nil, e1)
+	}
+	if b.Depth < 1 {
+		panic("trie: RetrieveLabel of depth-0 view")
+	}
+	x := make([]int, b.Deg)
+	for j, e := range b.Edges {
+		x[j] = lb.RetrieveLabel(e.Child, e1, e2)
+	}
+	label := lb.RetrieveLabel(tab.Truncate(b), e1, e2)
+	le := e2.levelEntry(b.Depth)
+	if le != nil && le.idx != nil && label >= 1 {
+		below, at := le.idx.sumBelow(label)
+		sum := label - 1 + below
+		if at != nil {
+			sum += localLabel(lb, b, x, at)
+		} else {
+			sum++
+		}
+		return sum
+	}
+	var cs []Couple
+	if le != nil {
+		cs = le.Couples
+	}
+	sum := 0
+	for i := 1; i <= label; i++ {
+		if t := findCouple(cs, i); t != nil {
+			if i < label {
+				sum += t.Leaves()
+			} else {
+				sum += localLabel(lb, b, x, t)
+			}
+		} else {
+			sum++
+		}
+	}
+	return sum
+}
+
+// LocalLabel is Algorithm 2 of the paper. B is an augmented truncated
+// view, x the list of temporary labels previously assigned to the
+// children of B's root (nil at depth 1), and t a trie discriminating the
+// candidate set containing B. It returns a 1-based leaf rank.
+func (lb *Labeler) LocalLabel(b *view.View, x []int, t *Trie) int {
+	return localLabel(lb, b, x, t)
 }
 
 // RetrieveLabel is Algorithm 3 of the paper: it assigns the temporary
@@ -168,32 +308,7 @@ func (lb *Labeler) RetrieveLabel(b *view.View, e1 *Trie, e2 E2) int {
 	if v, ok := lb.memo[b]; ok {
 		return v
 	}
-	var out int
-	if b.Depth == 1 {
-		out = lb.LocalLabel(b, nil, e1)
-	} else if b.Depth < 1 {
-		panic("trie: RetrieveLabel of depth-0 view")
-	} else {
-		x := make([]int, b.Deg)
-		for j, e := range b.Edges {
-			x[j] = lb.RetrieveLabel(e.Child, e1, e2)
-		}
-		label := lb.RetrieveLabel(lb.Tab.Truncate(b), e1, e2)
-		cs := e2.level(b.Depth)
-		sum := 0
-		for i := 1; i <= label; i++ {
-			if t := findCouple(cs, i); t != nil {
-				if i < label {
-					sum += t.Leaves()
-				} else {
-					sum += lb.LocalLabel(b, x, t)
-				}
-			} else {
-				sum++
-			}
-		}
-		out = sum
-	}
+	out := retrieveLabel(lb, lb.Tab, b, e1, e2)
 	lb.memo[b] = out
 	return out
 }

@@ -70,6 +70,40 @@ func (t *Table) Compare(a, b *View) int {
 	}
 }
 
+// Ranks materializes the packed canonical ranks of a slice of
+// equal-depth views into dst (grown as needed) and returns it. All
+// returned values are guaranteed to come from one ranking generation,
+// so they are directly comparable as integers and order exactly like
+// Compare — the bulk form of the Compare fast path, for callers that
+// scan many candidates (the deciders' minimum-view selection).
+func (t *Table) Ranks(vs []*View, dst []uint64) []uint64 {
+	if len(vs) == 0 {
+		return dst[:0]
+	}
+	d := vs[0].Depth
+	for {
+		dst = dst[:0]
+		gen := uint64(0)
+		consistent := true
+		for _, v := range vs {
+			if v.Depth != d {
+				panic("view: Ranks requires equal-depth views")
+			}
+			r := v.rank.Load()
+			if r == 0 || (gen != 0 && r>>32 != gen) {
+				consistent = false
+				break
+			}
+			gen = r >> 32
+			dst = append(dst, r)
+		}
+		if consistent {
+			return dst
+		}
+		t.ensureRanked(d)
+	}
+}
+
 // Min returns the minimum view of a non-empty slice under Compare.
 func (t *Table) Min(vs []*View) *View {
 	if len(vs) == 0 {

@@ -1,0 +1,69 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRanksOrderLikeCompare pins the bulk rank fetch to Compare: for
+// every pair of equal-depth views, integer order of the packed ranks
+// returned by Ranks must equal the canonical order.
+func TestRanksOrderLikeCompare(t *testing.T) {
+	g := graph.RandomConnected(40, 25, 21)
+	tab := NewTable()
+	levels := Levels(tab, g, 4)
+	var dst []uint64
+	for depth, vs := range levels {
+		dst = tab.Ranks(vs, dst)
+		if len(dst) != len(vs) {
+			t.Fatalf("depth %d: Ranks returned %d values for %d views", depth, len(dst), len(vs))
+		}
+		gen := dst[0] >> 32
+		for i, r := range dst {
+			if r>>32 != gen {
+				t.Fatalf("depth %d: mixed generations in one Ranks call", depth)
+			}
+			for j := i + 1; j < len(vs); j++ {
+				cmp := tab.Compare(vs[i], vs[j])
+				switch {
+				case cmp < 0 && !(dst[i] < dst[j]):
+					t.Fatalf("depth %d: rank order disagrees with Compare", depth)
+				case cmp > 0 && !(dst[i] > dst[j]):
+					t.Fatalf("depth %d: rank order disagrees with Compare", depth)
+				case cmp == 0 && dst[i] != dst[j]:
+					t.Fatalf("depth %d: equal views with unequal ranks", depth)
+				}
+			}
+		}
+	}
+	if got := tab.Ranks(nil, dst); len(got) != 0 {
+		t.Error("Ranks of empty slice should be empty")
+	}
+}
+
+// TestBatchInternMatchesScalar checks that LeafBatch and MakeBatch are
+// observationally the scalar calls: same interned pointers row by row.
+func TestBatchInternMatchesScalar(t *testing.T) {
+	tab := NewTable()
+	degs := []int{1, 3, 2, 3, 1}
+	out := make([]*View, len(degs))
+	tab.LeafBatch(degs, out)
+	for i, d := range degs {
+		if out[i] != tab.Leaf(d) {
+			t.Errorf("LeafBatch[%d] != Leaf(%d)", i, d)
+		}
+	}
+	// Two rows in one packed matrix: a 2-edge view and a 1-edge view.
+	flat := []Edge{
+		{RemotePort: 0, Child: tab.Leaf(2)},
+		{RemotePort: 1, Child: tab.Leaf(1)},
+		{RemotePort: 0, Child: tab.Leaf(2)},
+	}
+	off := []int32{0, 2, 3}
+	vs := make([]*View, 2)
+	tab.MakeBatch(flat, off, vs)
+	if vs[0] != tab.Make(flat[0:2]) || vs[1] != tab.Make(flat[2:3]) {
+		t.Error("MakeBatch rows disagree with Make")
+	}
+}

@@ -130,6 +130,27 @@ func (t *Table) Make(edges []Edge) *View {
 	return t.intern(d+1, len(edges), edges)
 }
 
+// LeafBatch interns out[i] = Leaf(degs[i]) for every i. Bulk form of
+// Leaf for the class-sharing simulation engine, which seeds one
+// depth-0 view per refinement class.
+func (t *Table) LeafBatch(degs []int, out []*View) {
+	for i, d := range degs {
+		out[i] = t.Leaf(d)
+	}
+}
+
+// MakeBatch interns out[i] = Make(flat[off[i]:off[i+1]]) for every i
+// (len(off) = len(out)+1). Bulk form of Make for engines that assemble
+// one packed edge matrix per round — one row per view-class
+// representative — and re-intern it against mostly-warm shards. Rows get
+// exactly Make's semantics, including the child-depth checks; flat is
+// not retained.
+func (t *Table) MakeBatch(flat []Edge, off []int32, out []*View) {
+	for i := range out {
+		out[i] = t.Make(flat[off[i]:off[i+1]])
+	}
+}
+
 // hashView is the allocation-free structural intern key: FNV-1a over the
 // depth, the degree, and the (remote port, child identity) sequence,
 // finished with a splitmix64 avalanche so the low bits that select the
