@@ -480,6 +480,46 @@ func BenchmarkElectionEndToEndSequential(b *testing.B) {
 	})
 }
 
+// E22 — the oracle at scale (DESIGN.md §6): ComputeAdvice alone (the
+// advice phase of Theorem 3.1) on the E20/E21 graph families. The
+// class-sharing oracle interns one representative view per view class
+// per depth instead of one view per node per depth, and batches the
+// trie construction and the final label sweep over a worker pool; this
+// row tracks the advice phase in isolation so oracle regressions are
+// not masked by the simulation phase of E21.
+func BenchmarkOracleScale(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		make func() *Graph
+	}{
+		{"random-n10000", func() *Graph { return RandomConnected(10_000, 5_000, 1) }},
+		{"random-n100000", func() *Graph { return RandomConnected(100_000, 50_000, 1) }},
+		{"torus-100x100", func() *Graph { return ShufflePorts(Torus(100, 100), 1) }},
+		{"torus-320x320", func() *Graph { return ShufflePorts(Torus(320, 320), 1) }},
+		{"hypercube-d13", func() *Graph { return ShufflePorts(Hypercube(13), 1) }},
+		{"hypercube-d17", func() *Graph { return ShufflePorts(Hypercube(17), 1) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			g := tc.make()
+			b.ResetTimer()
+			var a *Advice
+			var bitsLen int
+			for i := 0; i < b.N; i++ {
+				s := NewSystem()
+				var enc Bits
+				var err error
+				a, enc, err = s.ComputeAdvice(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bitsLen = enc.Len()
+			}
+			b.ReportMetric(float64(a.Phi), "phi")
+			b.ReportMetric(float64(bitsLen), "advice-bits")
+		})
+	}
+}
+
 // E19 — raw view-interning throughput (DESIGN.md §1): a fresh table
 // interning a 200-node graph's levels, and GOMAXPROCS goroutines
 // hammering one shared table with the same views, which exercises the

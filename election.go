@@ -253,13 +253,17 @@ func (s *System) RunElect(g *Graph, adv Bits, o Options) (*Result, error) {
 }
 
 // RunGeneric runs Algorithm Generic(x) (Lemma 4.1): correct for any
-// x >= φ(g), in time at most D + x + 1, with no other advice.
+// x >= φ(g), in time at most D + x + 1, with no other advice. The round
+// budget uses the O(n+m) diameter upper bound — a budget only has to
+// dominate D + x + 1, and the exact diameter is an all-pairs BFS that
+// would wall off this entry point long before the engine's own limits.
 func (s *System) RunGeneric(g *Graph, x int, o Options) (*Result, error) {
 	if x < 1 {
 		return nil, errors.New("election: Generic requires x >= 1")
 	}
 	if o.MaxRounds == 0 {
-		o.MaxRounds = g.Diameter() + x + 2
+		_, hi := g.DiameterBounds()
+		o.MaxRounds = hi + x + 2
 	}
 	return s.run(g, algorithms.NewGenericFactory(s.table(), x), 0, o)
 }
@@ -284,7 +288,8 @@ func (s *System) RunMilestone(g *Graph, i int, o Options) (*Result, error) {
 		if p > 1<<20 {
 			return nil, fmt.Errorf("election: milestone %d parameter %d too large to simulate", i, p)
 		}
-		o.MaxRounds = g.Diameter() + p + 2
+		_, hi := g.DiameterBounds()
+		o.MaxRounds = hi + p + 2
 	}
 	return s.run(g, f, adv.Len(), o)
 }
@@ -301,7 +306,10 @@ func (s *System) RunFullMap(g *Graph, o Options) (*Result, error) {
 }
 
 // RunDPlusPhi runs the algorithm of the remark after Theorem 4.1: nodes
-// receive (D, φ) as advice and elect in exactly D + φ rounds.
+// receive (D, φ) as advice and elect in exactly D + φ rounds. This is
+// the one entry point that semantically needs the exact diameter (it is
+// part of the advice); the memoized Diameter makes the second use for
+// the round budget free.
 func (s *System) RunDPlusPhi(g *Graph, o Options) (*Result, error) {
 	phi, ok := s.ElectionIndex(g)
 	if !ok {
@@ -356,7 +364,8 @@ func (s *System) RunNaiveMinTime(g *Graph, maxBits int, o Options) (*Result, err
 // non-trees — the contrast with Proposition 4.1.
 func (s *System) RunTreeElect(g *Graph, o Options) (*Result, error) {
 	if o.MaxRounds == 0 {
-		o.MaxRounds = g.Diameter() + 2
+		_, hi := g.DiameterBounds()
+		o.MaxRounds = hi + 2
 	}
 	return s.run(g, algorithms.NewTreeElectFactory(s.table()), 0, o)
 }

@@ -13,8 +13,8 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/classviews"
 	"repro/internal/graph"
-	"repro/internal/part"
 	"repro/internal/trie"
 	"repro/internal/view"
 )
@@ -45,14 +45,17 @@ type Advice struct {
 
 // Oracle holds the state shared between advice computation and any
 // subsequent label queries (tests use it to cross-check node behaviour).
+// The labeler is the concurrency-safe SharedLabeler because
+// ComputeAdvice builds the per-depth couple tries and runs the final
+// label sweep over a worker pool.
 type Oracle struct {
 	Tab     *view.Table
-	Labeler *trie.Labeler
+	Labeler *trie.SharedLabeler
 }
 
 // NewOracle returns an oracle interning into tab.
 func NewOracle(tab *view.Table) *Oracle {
-	return &Oracle{Tab: tab, Labeler: trie.NewLabeler(tab)}
+	return &Oracle{Tab: tab, Labeler: trie.NewSharedLabeler(tab)}
 }
 
 // distinctSorted returns the distinct views of vs in canonical order.
@@ -69,80 +72,134 @@ func distinctSorted(tab *view.Table, vs []*view.View) []*view.View {
 	return out
 }
 
+// oracleLevel is one depth of the class-sharing materialization kept by
+// ComputeAdvice: the interned class views (indexed by class, one per
+// distinct view of that depth) and each class's class at the previous
+// depth (classes only ever split, so every depth-i class sits inside
+// exactly one depth-(i-1) class — its view's truncation).
+type oracleLevel struct {
+	views  []*view.View
+	parent []int32
+}
+
 // ComputeAdvice is Algorithm 5 of the paper. It requires g to be feasible
 // and returns the decoded advice; use (*Advice).Encode for the bit string.
 //
-// φ comes from the view-free partition engine, so views are interned
-// exactly once (the single Levels pass to depth φ), and the distinct
-// views of each depth are read off the refinement's class
-// representatives instead of being deduplicated per depth.
+// The oracle shares the class-sharing materializer with the simulation
+// engine (internal/classviews): at every depth below φ it interns one
+// representative view per view class instead of one view per node (the
+// per-node Levels pass this replaces was the last superlinear interning
+// path in the pipeline). Depth φ has n singleton classes by definition,
+// so the final depth necessarily interns n views — but their children
+// are the already-shared class views of depth φ−1. The couple tries of
+// each depth and the final n-node label sweep are batched over a worker
+// pool; that is sound because trie splits and labels are pure functions
+// of (view set, E1, E2 prefix), and deterministic because BuildTrie's
+// output is a function of the candidate *set* (every split is decided
+// by canonically distinguished elements, not by input order).
 func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
-	phi, reps, feasible := part.ElectionTrace(g)
-	if !feasible {
-		return nil, errors.New("advice: graph is infeasible (symmetric views)")
+	n := g.N()
+	if n < 3 {
+		return nil, fmt.Errorf("advice: leader election on %d node(s) is degenerate; model requires n >= 3", n)
 	}
-	if g.N() == 1 {
-		return nil, errors.New("advice: leader election on one node is trivial; model requires n >= 3")
+	mat := classviews.New(o.Tab, g)
+	// levels[i] aligns with depth i; the oracle never reads depth 0 (E1
+	// starts at depth 1), so index 0 stays a placeholder.
+	levels := []oracleLevel{{}}
+	count := mat.NumClasses()
+	prev := make([]int32, n)
+	for count < n {
+		copy(prev, mat.Class())
+		mat.Step()
+		k := mat.NumClasses()
+		if k == count {
+			return nil, errors.New("advice: graph is infeasible (symmetric views)")
+		}
+		count = k
+		lv := oracleLevel{
+			views:  append([]*view.View(nil), mat.Views()...),
+			parent: make([]int32, k),
+		}
+		for c := 0; c < k; c++ {
+			lv.parent[c] = prev[mat.Representative(c)]
+		}
+		levels = append(levels, lv)
 	}
-	levels := view.Levels(o.Tab, g, phi)
+	phi := mat.Depth()
 	lb := o.Labeler
 
-	// distinctAt(i) is the distinct depth-i views in canonical order:
-	// one view per refinement class (the equivalence invariant of
-	// internal/part makes class representatives exactly one node per
-	// distinct view), then sorted — the same result distinctSorted
-	// computes from the full per-node list.
-	distinctAt := func(i int) []*view.View {
-		out := make([]*view.View, len(reps[i]))
-		for c, rep := range reps[i] {
-			out[c] = levels[i][rep]
-		}
-		o.Tab.Sort(out)
-		return out
-	}
+	// E1 discriminates all depth-1 views: exactly the depth-1 class
+	// views (the equivalence invariant of internal/part makes classes
+	// one per distinct view).
+	e1 := lb.BuildTrie(levels[1].views, nil, nil)
 
-	// E1 discriminates all depth-1 views.
-	s1 := distinctAt(1)
-	e1 := lb.BuildTrie(s1, nil, nil)
-
-	// E2: for each depth i = 2..phi, for each depth-(i-1) view B' (in
-	// label order j), if several depth-i views share the truncation B',
-	// add the couple (j, BuildTrie of that set).
+	// E2: for each depth i = 2..phi, for each depth-(i-1) view B' with
+	// label j, if several depth-i views share the truncation B', add the
+	// couple (j, BuildTrie of that set). The truncation of class c's
+	// view is its parent class's view, so grouping is a counting pass
+	// over parent ids — no Truncate walks. The couples of one depth are
+	// independent given the E2 prefix below them, so their tries are
+	// built in parallel.
 	var e2 trie.E2
 	for i := 2; i <= phi; i++ {
-		prev := distinctAt(i - 1)
-		byTrunc := make(map[*view.View][]*view.View)
-		for _, b := range distinctAt(i) {
-			tr := o.Tab.Truncate(b)
-			byTrunc[tr] = append(byTrunc[tr], b)
+		cur, par := levels[i].views, levels[i].parent
+		kPrev := len(levels[i-1].views)
+		// Bucket the depth-i classes by parent class, in parent order.
+		off := make([]int32, kPrev+1)
+		for _, p := range par {
+			off[p+1]++
 		}
-		var couples []trie.Couple
-		for _, bPrime := range prev {
-			x := byTrunc[bPrime]
-			if len(x) > 1 {
-				j := lb.RetrieveLabel(bPrime, e1, e2)
-				couples = append(couples, trie.Couple{J: j, T: lb.BuildTrie(x, e1, e2)})
+		for p := 0; p < kPrev; p++ {
+			off[p+1] += off[p]
+		}
+		grouped := make([]*view.View, len(cur))
+		fill := append([]int32(nil), off[:kPrev]...)
+		for c, p := range par {
+			grouped[fill[p]] = cur[c]
+			fill[p]++
+		}
+		var parents []int32 // parent classes whose group needs a trie
+		for p := 0; p < kPrev; p++ {
+			if off[p+1]-off[p] > 1 {
+				parents = append(parents, int32(p))
 			}
 		}
+		couples := make([]trie.Couple, len(parents))
+		parallelDo(len(parents), 1, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				p := parents[t]
+				couples[t] = trie.Couple{
+					J: lb.RetrieveLabel(levels[i-1].views[p], e1, e2),
+					T: lb.BuildTrie(grouped[off[p]:off[p+1]], e1, e2),
+				}
+			}
+		})
 		sort.Slice(couples, func(a, b int) bool { return couples[a].J < couples[b].J })
 		e2 = append(e2, trie.NewLevelList(i, couples))
 	}
 
-	// Final labels at depth phi; find the root r with label 1 and build
-	// the canonical BFS tree with labeled nodes.
-	labelOf := make([]int, g.N())
+	// Final labels at depth phi, one RetrieveLabel per node (classes are
+	// singletons here, so Views()[Class()[v]] is B^phi(v)), swept over
+	// the worker pool; the validity checks run afterwards in node order,
+	// so the diagnostics match the sequential oracle's.
+	finalViews, cls := levels[phi].views, mat.Class()
+	labelOf := make([]int, n)
+	parallelDo(n, sweepChunk(n), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			labelOf[v] = lb.RetrieveLabel(finalViews[cls[v]], e1, e2)
+		}
+	})
 	root := -1
-	seenLabel := make(map[int]int)
-	for v := 0; v < g.N(); v++ {
-		l := lb.RetrieveLabel(levels[phi][v], e1, e2)
-		if l < 1 || l > g.N() {
-			return nil, fmt.Errorf("advice: label %d out of range [1,%d] at node %d", l, g.N(), v)
+	seenBy := make([]int, n+1) // label -> node+1 that carries it
+	for v := 0; v < n; v++ {
+		l := labelOf[v]
+		if l < 1 || l > n {
+			return nil, fmt.Errorf("advice: label %d out of range [1,%d] at node %d", l, n, v)
 		}
-		if u, dup := seenLabel[l]; dup {
-			return nil, fmt.Errorf("advice: label %d assigned to both nodes %d and %d", l, u, v)
+		if u := seenBy[l]; u != 0 {
+			return nil, fmt.Errorf("advice: label %d assigned to both nodes %d and %d", l, u-1, v)
 		}
-		seenLabel[l] = v
-		labelOf[v] = l
+		seenBy[l] = v + 1
 		if l == 1 {
 			root = v
 		}

@@ -2,6 +2,7 @@ package advice
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/bits"
@@ -223,9 +224,18 @@ func TestAdviceSizeIsNLogN(t *testing.T) {
 	}
 }
 
-func TestOneNodeGraphRejected(t *testing.T) {
-	o := NewOracle(view.NewTable())
-	if _, err := o.ComputeAdvice(graph.Star(0)); err == nil {
-		t.Error("expected error for one-node graph")
+// ComputeAdvice must reject every n < 3 with the model-bound error, not
+// just n == 1: the two-node graph used to fall through to the generic
+// infeasibility message.
+func TestSmallGraphsRejected(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Star(0), graph.Path(2)} {
+		o := NewOracle(view.NewTable())
+		_, err := o.ComputeAdvice(g)
+		if err == nil {
+			t.Fatalf("n=%d: expected error", g.N())
+		}
+		if !strings.Contains(err.Error(), "n >= 3") {
+			t.Errorf("n=%d: error %q does not state the n >= 3 model bound", g.N(), err)
+		}
 	}
 }

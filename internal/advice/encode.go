@@ -24,7 +24,8 @@ func (a *Advice) Encode() bits.String {
 // the number of edges followed by the four integers of each edge. Its
 // length is O(n log n) bits, matching Proposition 3.1's budget for bin(T).
 func encodeTree(tree []LabeledTreeEdge) bits.String {
-	tokens := []int{len(tree)}
+	tokens := make([]int, 0, 1+4*len(tree))
+	tokens = append(tokens, len(tree))
 	for _, e := range tree {
 		tokens = append(tokens, e.ParentLabel, e.ChildLabel, e.PortParent, e.PortChild)
 	}

@@ -13,6 +13,7 @@ package bits
 import (
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 	"strings"
 )
 
@@ -90,6 +91,31 @@ func Equal(s, t String) bool {
 	return true
 }
 
+// FirstDiff returns the smallest 0-based index at which s and t
+// disagree, comparing only the common prefix of the two strings; it
+// returns -1 when they agree on the first min(Len) bits. It scans whole
+// bytes, so finding the discriminating bit of two long encodings does
+// not walk them bit by bit (the depth-1 trie construction of BuildTrie
+// is the caller that cares).
+func FirstDiff(s, t String) int {
+	n := s.n
+	if t.n < n {
+		n = t.n
+	}
+	nb := (n + 7) >> 3
+	for k := 0; k < nb; k++ {
+		if x := s.b[k] ^ t.b[k]; x != 0 {
+			// Bits past position n-1 in the last byte may differ only
+			// because one string ends there; they do not count.
+			if i := k<<3 + mathbits.LeadingZeros8(x); i < n {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
 // Compare orders bit strings lexicographically, with a proper prefix
 // ordered before any of its extensions. It returns -1, 0 or +1.
 func Compare(s, t String) int {
@@ -132,10 +158,37 @@ func (w *Writer) WriteBit(bit bool) {
 	w.n++
 }
 
-// WriteString appends all bits of s.
+// WriteBits appends the n lowest bits of v, most significant of those
+// first. It is the bulk form of WriteBit for encoders that assemble
+// multi-bit patterns (doubled digits, separator pairs) in registers.
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits count %d out of range [0,64]", n))
+	}
+	for n > 0 {
+		if w.n&7 == 0 {
+			w.b = append(w.b, 0)
+		}
+		free := 8 - w.n&7
+		take := free
+		if n < take {
+			take = n
+		}
+		chunk := byte(v>>uint(n-take)) & (1<<uint(take) - 1)
+		w.b[w.n>>3] |= chunk << uint(free-take)
+		w.n += take
+		n -= take
+	}
+}
+
+// WriteString appends all bits of s, whole bytes at a time.
 func (w *Writer) WriteString(s String) {
-	for i := 0; i < s.n; i++ {
-		w.WriteBit(s.Bit(i))
+	full := s.n >> 3
+	for k := 0; k < full; k++ {
+		w.WriteBits(uint64(s.b[k]), 8)
+	}
+	if rem := s.n & 7; rem > 0 {
+		w.WriteBits(uint64(s.b[full]>>uint(8-rem)), rem)
 	}
 }
 
@@ -222,16 +275,39 @@ func Concat(parts ...String) String {
 	var w Writer
 	for i, p := range parts {
 		if i > 0 {
-			w.WriteBit(false)
-			w.WriteBit(true)
+			w.WriteBits(0b01, 2)
 		}
-		for j := 0; j < p.n; j++ {
-			b := p.Bit(j)
-			w.WriteBit(b)
-			w.WriteBit(b)
-		}
+		w.WriteDoubled(p)
 	}
 	return w.String()
+}
+
+// doubled[b] is the 16-bit doubling of the byte b: every bit of b,
+// most significant first, written twice.
+var doubled = func() (t [256]uint16) {
+	for b := 0; b < 256; b++ {
+		var d uint16
+		for i := 7; i >= 0; i-- {
+			d = d<<2 | uint16(b>>uint(i)&1)*3
+		}
+		t[b] = d
+	}
+	return
+}()
+
+// WriteDoubled appends every bit of p twice — the digit-doubling half
+// of the Concat code — one source byte (16 output bits) at a time.
+// Advice strings are tens of megabits at the scales the oracle runs at,
+// so the doubling pass is table-driven rather than per-bit.
+func (w *Writer) WriteDoubled(p String) {
+	full := p.n >> 3
+	for k := 0; k < full; k++ {
+		w.WriteBits(uint64(doubled[p.b[k]]), 16)
+	}
+	if rem := p.n & 7; rem > 0 {
+		// The low rem source bits map to the low 2·rem doubled bits.
+		w.WriteBits(uint64(doubled[p.b[full]>>uint(8-rem)]), 2*rem)
+	}
 }
 
 // Decode inverts Concat, recovering the original sequence of substrings.
@@ -265,13 +341,43 @@ func Decode(s String) ([]String, error) {
 
 // ConcatInts encodes a sequence of non-negative integers as
 // Concat(bin(x1), ..., bin(xk)). It is the flattening primitive used by
-// the tree and trie codecs.
+// the tree and trie codecs; the digits are written doubled directly
+// instead of materializing one intermediate bin(x) string per integer
+// (the advice tree alone flattens 4n+1 integers).
 func ConcatInts(xs ...int) String {
-	parts := make([]String, len(xs))
+	var w Writer
 	for i, x := range xs {
-		parts[i] = Bin(x)
+		if i > 0 {
+			w.WriteBits(0b01, 2)
+		}
+		w.WriteBinDoubled(x)
 	}
-	return Concat(parts...)
+	return w.String()
+}
+
+// WriteBinDoubled appends bin(x) with every digit doubled — one term of
+// the Concat code, written without materializing bin(x).
+func (w *Writer) WriteBinDoubled(x int) { w.WriteBinRepeated(x, 2) }
+
+// WriteBinRepeated appends bin(x) with every digit written k times
+// (k = 2 is one application of the doubling code, k = 4 two nested
+// applications — the depth-1 view encoder's case).
+func (w *Writer) WriteBinRepeated(x, k int) {
+	if x < 0 {
+		panic(fmt.Sprintf("bits.Bin: negative argument %d", x))
+	}
+	ones := uint64(1)<<uint(k) - 1
+	if x == 0 {
+		w.WriteBits(0, k)
+		return
+	}
+	for i := mathbits.Len(uint(x)) - 1; i >= 0; i-- {
+		if x>>uint(i)&1 == 1 {
+			w.WriteBits(ones, k)
+		} else {
+			w.WriteBits(0, k)
+		}
+	}
 }
 
 // DecodeInts inverts ConcatInts.

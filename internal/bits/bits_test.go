@@ -308,3 +308,137 @@ func TestDecodeNeverPanics(t *testing.T) {
 		_, _ = DecodeInts(s)
 	}
 }
+
+// WriteBits must agree with writing the same bits one at a time, at
+// every alignment of the writer.
+func TestWriteBitsMatchesWriteBit(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	for align := 0; align < 9; align++ {
+		for n := 0; n <= 64; n++ {
+			var fast, slow Writer
+			for i := 0; i < align; i++ {
+				fast.WriteBit(i%2 == 0)
+				slow.WriteBit(i%2 == 0)
+			}
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			v := rng
+			fast.WriteBits(v, n)
+			for i := n - 1; i >= 0; i-- {
+				slow.WriteBit(v>>uint(i)&1 == 1)
+			}
+			if !Equal(fast.String(), slow.String()) {
+				t.Fatalf("align %d n %d: WriteBits disagrees with WriteBit", align, n)
+			}
+		}
+	}
+}
+
+// The table-driven doubling of Concat, the direct-write ConcatInts, and
+// the chunked WriteString must agree with their bit-by-bit definitions.
+func TestFastEncodersMatchReference(t *testing.T) {
+	samples := []String{
+		New(""), New("0"), New("1"), New("01"), New("10011010"),
+		New("111000111000111"), Bin(0), Bin(255), Bin(1 << 40),
+	}
+	// Concat vs doubling by hand.
+	ref := func(parts ...String) String {
+		var w Writer
+		for i, p := range parts {
+			if i > 0 {
+				w.WriteBit(false)
+				w.WriteBit(true)
+			}
+			for j := 0; j < p.Len(); j++ {
+				b := p.Bit(j)
+				w.WriteBit(b)
+				w.WriteBit(b)
+			}
+		}
+		return w.String()
+	}
+	for i := range samples {
+		for j := range samples {
+			got, want := Concat(samples[i], samples[j]), ref(samples[i], samples[j])
+			if !Equal(got, want) {
+				t.Fatalf("Concat(%v, %v) = %v, want %v", samples[i], samples[j], got, want)
+			}
+		}
+	}
+	// ConcatInts vs Concat of Bins.
+	intCases := [][]int{{}, {0}, {1}, {0, 0}, {5, 0, 17}, {1023, 1, 0, 8}, {1 << 50}}
+	for _, xs := range intCases {
+		parts := make([]String, len(xs))
+		for i, x := range xs {
+			parts[i] = Bin(x)
+		}
+		if !Equal(ConcatInts(xs...), Concat(parts...)) {
+			t.Fatalf("ConcatInts(%v) differs from Concat of Bins", xs)
+		}
+	}
+	// WriteString at every alignment.
+	for align := 0; align < 9; align++ {
+		for _, s := range samples {
+			var fast, slow Writer
+			for i := 0; i < align; i++ {
+				fast.WriteBit(true)
+				slow.WriteBit(true)
+			}
+			fast.WriteString(s)
+			for i := 0; i < s.Len(); i++ {
+				slow.WriteBit(s.Bit(i))
+			}
+			if !Equal(fast.String(), slow.String()) {
+				t.Fatalf("WriteString misaligned at %d for %v", align, s)
+			}
+		}
+	}
+	// Round trip through Decode still holds. (The empty sequence is
+	// excluded: its encoding decodes as one empty part, which ParseBin
+	// rejects — longstanding codec behaviour.)
+	for _, xs := range intCases {
+		if len(xs) == 0 {
+			continue
+		}
+		got, err := DecodeInts(ConcatInts(xs...))
+		if err != nil {
+			t.Fatalf("DecodeInts(%v): %v", xs, err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("round trip of %v: got %v", xs, got)
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("round trip of %v: got %v", xs, got)
+			}
+		}
+	}
+}
+
+// FirstDiff must agree with a bit-by-bit scan of the common prefix.
+func TestFirstDiff(t *testing.T) {
+	samples := []String{
+		New(""), New("0"), New("1"), New("0110"), New("01101"),
+		New("011010000111"), New("011010000110"), New("11110000111100001"),
+		New("1111000011110000"), Bin(123456789),
+	}
+	for _, s := range samples {
+		for _, u := range samples {
+			want := -1
+			n := s.Len()
+			if u.Len() < n {
+				n = u.Len()
+			}
+			for i := 0; i < n; i++ {
+				if s.Bit(i) != u.Bit(i) {
+					want = i
+					break
+				}
+			}
+			if got := FirstDiff(s, u); got != want {
+				t.Errorf("FirstDiff(%v, %v) = %d, want %d", s, u, got, want)
+			}
+		}
+	}
+}

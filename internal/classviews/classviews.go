@@ -1,0 +1,139 @@
+// Package classviews materializes one interned view per view-equivalence
+// class per depth — the class-sharing core shared by the bulk-synchronous
+// simulation engine (sim.RunBSP) and the Theorem 3.1 oracle
+// (advice.ComputeAdvice).
+//
+// Nodes in the same view-equivalence class at depth l carry *identical*
+// B^l(v) — the Yamashita–Kameda quotient argument behind Proposition
+// 2.1 — so no algorithm ever needs more than one interned view per
+// class. A Materializer pumps a view-free part.Refiner step per depth
+// to track the classes in O(n+m), assembles one packed edge matrix row
+// per class representative (children read through the previous depth's
+// classes), and interns the rows with Table.MakeBatch. Every node's
+// view at the current depth is Views()[Class()[v]], and — because
+// interning makes structural equality pointer equality — it is the very
+// same *view.View that a per-node refinement (view.Levels) would have
+// produced, which is what TestMaterializerMatchesLevels pins.
+//
+// Once the class count stops growing the partition is stable forever
+// (classes only ever split, and the first repeat is a fixed point); the
+// refiner is then left frozen and later Steps only deepen the class
+// views. All buffers are allocated once and reused across depths.
+package classviews
+
+import (
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/view"
+)
+
+// Materializer tracks, depth by depth, the view classes of a graph and
+// one interned representative view per class. It is not safe for
+// concurrent use; the slices returned by Class and Views alias internal
+// state and are valid until the next Step.
+type Materializer struct {
+	g   *graph.Graph
+	tab *view.Table
+	ref *part.Refiner
+
+	class     []int32 // class[v] at the current depth
+	classPrev []int32 // scratch for the previous depth's classes
+	views     []*view.View
+	next      []*view.View
+	k         int
+	depth     int
+	stable    bool
+
+	// Packed edge matrix of the class representatives, rebuilt in place
+	// every Step; sized for the worst case (all classes singleton).
+	flat []view.Edge
+	off  []int32
+}
+
+// New starts materialization of g at depth 0: classes are degrees, and
+// the class views are the interned depth-0 leaves.
+func New(tab *view.Table, g *graph.Graph) *Materializer {
+	n := g.N()
+	m := &Materializer{g: g, tab: tab, ref: part.NewRefiner(g)}
+	m.class = m.ref.CopyClasses(nil)
+	m.classPrev = make([]int32, n)
+	m.k = m.ref.NumClasses()
+	m.views = make([]*view.View, n)
+	m.next = make([]*view.View, n)
+	degs := make([]int, m.k)
+	for c := 0; c < m.k; c++ {
+		degs[c] = g.Deg(m.ref.Representative(c))
+	}
+	tab.LeafBatch(degs, m.views[:m.k])
+	m.stable = m.k == n
+	m.flat = make([]view.Edge, 0, 2*g.M())
+	m.off = make([]int32, n+1)
+	return m
+}
+
+// Depth returns the current materialization depth.
+func (m *Materializer) Depth() int { return m.depth }
+
+// NumClasses returns the number of view classes at the current depth.
+func (m *Materializer) NumClasses() int { return m.k }
+
+// Stable reports whether the partition has reached its fixed point (it
+// can no longer split; on feasible graphs this first happens at the
+// depth where every class is a singleton).
+func (m *Materializer) Stable() bool { return m.stable }
+
+// Class returns the per-node classes at the current depth, numbered by
+// first occurrence in node order. The slice aliases internal state:
+// read-only, valid until the next Step.
+func (m *Materializer) Class() []int32 { return m.class }
+
+// Views returns the interned class views at the current depth, indexed
+// by class: Views()[Class()[v]] == B^Depth(v) for every node v. The
+// slice aliases internal state: read-only, valid until the next Step.
+func (m *Materializer) Views() []*view.View { return m.views[:m.k] }
+
+// Representative returns the smallest node id of class c at the current
+// depth.
+func (m *Materializer) Representative(c int) int { return m.ref.Representative(c) }
+
+// Step advances one depth: refine the partition (unless already
+// stable), then intern one representative view per class, with the
+// representatives' children read through the previous depth's classes.
+func (m *Materializer) Step() {
+	// prev must map every node to its class at the depth the current
+	// views were built for. When the refiner just stabilized (or was
+	// already stable) the classes and their first-occurrence numbering
+	// are unchanged, so the current class slice doubles as prev.
+	prev := m.class
+	if !m.stable {
+		m.ref.Step()
+		if m.ref.NumClasses() == m.k {
+			m.stable = true
+		} else {
+			m.classPrev, m.class = m.class, m.classPrev
+			m.class = m.ref.CopyClasses(m.class)
+			m.k = m.ref.NumClasses()
+			prev = m.classPrev
+			m.stable = m.k == m.g.N()
+		}
+	}
+	m.flat = m.flat[:0]
+	for c := 0; c < m.k; c++ {
+		w := m.ref.Representative(c)
+		for p := 0; p < m.g.Deg(w); p++ {
+			h := m.g.At(w, p)
+			m.flat = append(m.flat, view.Edge{RemotePort: h.RemotePort, Child: m.views[prev[h.To]]})
+		}
+		m.off[c+1] = int32(len(m.flat))
+	}
+	m.tab.MakeBatch(m.flat, m.off[:m.k+1], m.next[:m.k])
+	// The depth-d view of class c's representative IS the truncation of
+	// its new depth-(d+1) view (Proposition 2.1), so seed the Truncate
+	// memo: labelers truncate every view they label, and the seeded memo
+	// turns those walks into pointer loads.
+	for c := 0; c < m.k; c++ {
+		m.tab.SeedTruncation(m.next[c], m.views[prev[m.ref.Representative(c)]])
+	}
+	m.views, m.next = m.next, m.views
+	m.depth++
+}

@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Half describes one directed half of an undirected edge as seen from a
@@ -28,6 +29,16 @@ type Half struct {
 type Graph struct {
 	adj [][]Half
 	m   int // edge count, cached at Finalize: M() sits on per-round hot paths
+
+	// Diameter caches. The exact diameter is an all-pairs BFS —
+	// O(n·(n+m)) — so it is memoized on first use; the double-sweep
+	// bounds cost two BFS runs and are what the election entry points
+	// use for round budgets (see DiameterBounds).
+	diamOnce   sync.Once
+	diam       int
+	boundsOnce sync.Once
+	diamLo     int
+	diamHi     int
 }
 
 // N returns the number of nodes.
@@ -204,15 +215,41 @@ func (g *Graph) Eccentricity(v int) int {
 	return max
 }
 
-// Diameter returns the diameter of the graph.
+// Diameter returns the diameter of the graph. The underlying all-pairs
+// BFS — O(n·(n+m)) — runs once; the result is memoized, so algorithms
+// that semantically need the exact D (DPlusPhiAdvice) no longer pay for
+// it at every entry point. Callers that only need a round budget should
+// prefer DiameterBounds.
 func (g *Graph) Diameter() int {
-	max := 0
-	for v := 0; v < g.N(); v++ {
-		if e := g.Eccentricity(v); e > max {
-			max = e
+	g.diamOnce.Do(func() {
+		max := 0
+		for v := 0; v < g.N(); v++ {
+			if e := g.Eccentricity(v); e > max {
+				max = e
+			}
 		}
-	}
-	return max
+		g.diam = max
+	})
+	return g.diam
+}
+
+// DiameterBounds returns lo <= D <= hi from a double BFS sweep in
+// O(n+m): a BFS from node 0 finds a farthest node u (ecc(0) deep), and
+// a second BFS from u gives lo = ecc(u) <= D; hi = 2·ecc(0) >= D by the
+// triangle inequality. The bounds are memoized. Election entry points
+// use hi for their round budgets — a budget only has to dominate D, so
+// the quadratic exact diameter stays off their path.
+func (g *Graph) DiameterBounds() (lo, hi int) {
+	g.boundsOnce.Do(func() {
+		ecc0, u := 0, 0
+		for v, d := range g.BFSDist(0) {
+			if d > ecc0 {
+				ecc0, u = d, v
+			}
+		}
+		g.diamLo, g.diamHi = g.Eccentricity(u), 2*ecc0
+	})
+	return g.diamLo, g.diamHi
 }
 
 // MaxDegree returns the maximum node degree.

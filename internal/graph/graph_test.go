@@ -285,6 +285,56 @@ func TestFollowPath(t *testing.T) {
 	}
 }
 
+// The budget path of the election entry points at scale: on a 20k-node
+// grid (diameter known in closed form) the double-sweep bounds must
+// bracket the true diameter without an all-pairs BFS — this size alone
+// would take the exact Diameter() tens of seconds, which is the wall
+// RunGeneric/RunMilestone/RunTreeElect used to hit before their
+// deciders even started.
+func TestDiameterBoundsScale(t *testing.T) {
+	g := Grid(100, 200) // n = 20000, D = 99 + 199 = 298
+	lo, hi := g.DiameterBounds()
+	if lo > 298 || hi < 298 {
+		t.Errorf("bounds [%d,%d] do not bracket the grid diameter 298", lo, hi)
+	}
+}
+
+// DiameterBounds must bracket the exact diameter on every family, and
+// the exact diameter must be stable across calls (it is memoized).
+func TestDiameterBounds(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"path9":    Path(9),
+		"ring8":    Ring(8),
+		"clique5":  Clique(5),
+		"star7":    Star(7),
+		"grid45":   Grid(4, 5),
+		"lollipop": Lollipop(5, 6),
+		"torus34":  Torus(3, 4),
+		"hcube4":   Hypercube(4),
+		"random":   RandomConnected(40, 20, 7),
+		"single":   NewBuilder(1).MustFinalize(),
+	} {
+		d := g.Diameter()
+		lo, hi := g.DiameterBounds()
+		if lo > d || d > hi {
+			t.Errorf("%s: bounds [%d,%d] do not bracket diameter %d", name, lo, hi, d)
+		}
+		if hi > 2*lo && lo > 0 {
+			t.Errorf("%s: upper bound %d exceeds 2x lower bound %d", name, hi, lo)
+		}
+		if d2 := g.Diameter(); d2 != d {
+			t.Errorf("%s: memoized diameter changed: %d then %d", name, d, d2)
+		}
+		if lo2, hi2 := g.DiameterBounds(); lo2 != lo || hi2 != hi {
+			t.Errorf("%s: memoized bounds changed", name)
+		}
+	}
+	// On a path, the double sweep's lower bound is exact from any start.
+	if lo, _ := Path(31).DiameterBounds(); lo != 30 {
+		t.Errorf("path lower bound %d, want exact 30", lo)
+	}
+}
+
 func TestIsSimplePath(t *testing.T) {
 	if !IsSimplePath([]int{1, 2, 3}) {
 		t.Error("distinct nodes should be simple")

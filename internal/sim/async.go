@@ -82,11 +82,14 @@ func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed in
 	now := 0.0
 	send := func(v int, st *nodeState) {
 		// Broadcast the node's current view, stamped with its round.
+		// Delays are uniform on (0, 1] exactly as documented:
+		// rng.Float64() is uniform on [0, 1), so 1 - rng.Float64() is
+		// uniform on (0, 1] — no epsilon shifting the support.
 		for p := 0; p < g.Deg(v); p++ {
 			h := g.At(v, p)
 			seq++
 			heap.Push(&q, &asyncEvent{
-				at:         now + 1e-6 + rng.Float64(),
+				at:         now + 1 - rng.Float64(),
 				seq:        seq,
 				dst:        h.To,
 				dstPort:    h.RemotePort,
@@ -134,6 +137,12 @@ func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed in
 		}
 		// Synchronizer: advance while the full frontier has arrived.
 		for st.got[st.round] == g.Deg(e.dst) {
+			// Check the budget before building the next view, so a
+			// runaway run fails without interning a view it will never
+			// hand to a decider.
+			if st.round+1 > maxRounds {
+				return nil, fmt.Errorf("sim: async node undecided after %d rounds", maxRounds)
+			}
 			msgs := st.inbox[st.round]
 			delete(st.inbox, st.round)
 			delete(st.got, st.round)
@@ -147,9 +156,6 @@ func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed in
 			}
 			st.b = tab.Make(ed)
 			st.round++
-			if st.round > maxRounds {
-				return nil, fmt.Errorf("sim: async node undecided after %d rounds", maxRounds)
-			}
 			decide(e.dst, st)
 			if undecided == 0 {
 				break

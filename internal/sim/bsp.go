@@ -5,14 +5,12 @@
 // per directed edge). But nodes in the same view-equivalence class at
 // depth r carry *identical* B^r(v) — the Yamashita–Kameda quotient
 // argument behind Proposition 2.1 — so a round only ever needs one
-// interned view per class. RunBSP exploits that: a view-free
-// part.Refiner step tracks the classes per round in O(n+m), one
-// representative view per class is interned (tab.MakeBatch over a packed
-// edge matrix of the representatives), every node reads its view as
-// cur[v] = classView[class[v]], and the Decide sweep is batched over a
-// worker pool sharded by node ranges with a barrier per round. Once the
-// class count stops growing the partition is stable forever and the
-// refiner is left frozen — later rounds only deepen the class views.
+// interned view per class. RunBSP exploits that through the shared
+// classviews.Materializer (one part.Refiner step and one interned view
+// per class per round; the Theorem 3.1 oracle consumes the same
+// materializer): every node reads its view as Views()[Class()[v]], and
+// the Decide sweep is batched over a worker pool sharded by node ranges
+// with a barrier per round.
 //
 // The engine is observationally identical to RunSequential (same
 // Outputs, Rounds, Time, Messages, and — because interning makes
@@ -26,8 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/classviews"
 	"repro/internal/graph"
-	"repro/internal/part"
 	"repro/internal/view"
 )
 
@@ -45,74 +43,23 @@ func RunBSP(tab *view.Table, g *graph.Graph, f Factory, maxRounds, workers int) 
 	res := &Result{Outputs: make([][]int, n), Rounds: make([]int, n)}
 	done := make([]bool, n)
 
-	// Partition state. classCur[v] is v's class at the current depth;
-	// cv[c] the interned view of class c (== B^r(v) for every member v).
-	ref := part.NewRefiner(g)
-	classCur := ref.CopyClasses(nil)
-	classPrev := make([]int32, n)
-	k := ref.NumClasses()
-	cvCur := make([]*view.View, n)
-	cvNext := make([]*view.View, n)
-	degs := make([]int, k)
-	for c := 0; c < k; c++ {
-		degs[c] = g.Deg(ref.Representative(c))
-	}
-	tab.LeafBatch(degs, cvCur[:k])
-	res.ClassViews += k
-	stable := k == n
-
-	// Packed edge matrix of the class representatives, rebuilt in place
-	// every round; sized for the worst case (all classes singleton).
-	flat := make([]view.Edge, 0, 2*g.M())
-	off := make([]int32, n+1)
+	cv := classviews.New(tab, g)
+	res.ClassViews += cv.NumClasses()
 
 	sweep := newSweeper(n, workers, deciders, done, res)
 	defer sweep.close()
 
 	remaining := n
 	for r := 0; ; r++ {
-		remaining -= sweep.run(r, classCur, cvCur)
+		remaining -= sweep.run(r, cv.Class(), cv.Views())
 		if remaining == 0 {
 			break
 		}
 		if r >= maxRounds {
 			return nil, fmt.Errorf("sim: %d nodes undecided after %d rounds", remaining, maxRounds)
 		}
-
-		// Advance the partition to depth r+1. The class count is
-		// non-decreasing and the first repeat means the partition — and
-		// its first-occurrence numbering — is stable forever, so the
-		// refiner is frozen from then on and the depth-(r+1) classes
-		// alias the depth-r ones.
-		prev := classCur // classes at depth r, for the children lookup
-		if !stable {
-			ref.Step()
-			if ref.NumClasses() == k {
-				stable = true
-			} else {
-				classPrev, classCur = classCur, classPrev
-				classCur = ref.CopyClasses(classCur)
-				k = ref.NumClasses()
-				prev = classPrev
-				stable = k == n
-			}
-		}
-
-		// One representative view per depth-(r+1) class: the rows of the
-		// packed matrix are the representatives' port lists with children
-		// read through the depth-r classes.
-		flat = flat[:0]
-		for c := 0; c < k; c++ {
-			w := ref.Representative(c)
-			for p := 0; p < g.Deg(w); p++ {
-				h := g.At(w, p)
-				flat = append(flat, view.Edge{RemotePort: h.RemotePort, Child: cvCur[prev[h.To]]})
-			}
-			off[c+1] = int32(len(flat))
-		}
-		tab.MakeBatch(flat, off[:k+1], cvNext[:k])
-		cvCur, cvNext = cvNext, cvCur
-		res.ClassViews += k
+		cv.Step()
+		res.ClassViews += cv.NumClasses()
 		res.Messages += 2 * g.M()
 	}
 	for _, r := range res.Rounds {

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// pathTo returns the flattened port sequence (p1, q1, ...) walking the
+// given node sequence in g; the test helper for assembling outputs.
+func pathTo(t *testing.T, g *graph.Graph, nodes ...int) []int {
+	t.Helper()
+	var ports []int
+	for i := 0; i+1 < len(nodes); i++ {
+		p := g.PortTo(nodes[i], nodes[i+1])
+		if p < 0 {
+			t.Fatalf("nodes %d and %d not adjacent", nodes[i], nodes[i+1])
+		}
+		ports = append(ports, p, g.PortBack(nodes[i], p))
+	}
+	return ports
+}
+
+// Verify must accept a well-formed election and pin its leader.
+func TestVerifyAccepts(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	outputs := [][]int{
+		pathTo(t, g, 0, 1),
+		{},
+		pathTo(t, g, 2, 1),
+		pathTo(t, g, 3, 2, 1),
+	}
+	leader, err := Verify(g, outputs)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if leader != 1 {
+		t.Errorf("leader = %d, want 1", leader)
+	}
+}
+
+// Malformed outputs, each exercising one rejection branch of Verify.
+func TestVerifyRejectsMalformed(t *testing.T) {
+	g := graph.Path(4)
+
+	// Non-simple path: 0 -> 1 -> 0 revisits node 0.
+	outputs := [][]int{
+		pathTo(t, g, 0, 1, 0),
+		{},
+		pathTo(t, g, 2, 1),
+		pathTo(t, g, 3, 2, 1),
+	}
+	if _, err := Verify(g, outputs); err == nil || !strings.Contains(err.Error(), "not a simple path") {
+		t.Errorf("non-simple path: got %v", err)
+	}
+
+	// Wrong arrival port: claim an arrival port the edge does not have.
+	bad := pathTo(t, g, 0, 1)
+	bad[1]++
+	outputs = [][]int{
+		bad,
+		{},
+		pathTo(t, g, 2, 1),
+		pathTo(t, g, 3, 2, 1),
+	}
+	if _, err := Verify(g, outputs); err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Errorf("wrong arrival port: got %v", err)
+	}
+
+	// Split leaders: nodes 0 and 3 both self-elect.
+	outputs = [][]int{
+		{},
+		pathTo(t, g, 1, 0),
+		pathTo(t, g, 2, 3),
+		{},
+	}
+	if _, err := Verify(g, outputs); err == nil || !strings.Contains(err.Error(), "elected") {
+		t.Errorf("split leaders: got %v", err)
+	}
+
+	// Wrong output count.
+	if _, err := Verify(g, [][]int{{}}); err == nil {
+		t.Error("short outputs must be rejected")
+	}
+}
+
+// Two distinct nodes may walk through the same intermediate node; the
+// stamp-guarded buffer must not confuse one node's visits with
+// another's (the regression a shared un-stamped buffer would cause).
+func TestVerifySharedIntermediateNodes(t *testing.T) {
+	g := graph.Star(5) // center 0, leaves 1..5
+	outputs := [][]int{
+		{},
+		pathTo(t, g, 1, 0),
+		pathTo(t, g, 2, 0),
+		pathTo(t, g, 3, 0),
+		pathTo(t, g, 4, 0),
+		pathTo(t, g, 5, 0),
+	}
+	leader, err := Verify(g, outputs)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if leader != 0 {
+		t.Errorf("leader = %d, want 0", leader)
+	}
+}

@@ -11,19 +11,17 @@ import (
 // internal/bits this realizes the paper's bin(Tr) within the O(n log n)
 // budget of Proposition 3.2.
 func (t *Trie) Tokens() []int {
-	var out []int
-	var walk func(t *Trie)
-	walk = func(t *Trie) {
-		if t.IsLeaf() {
-			out = append(out, 0)
-			return
-		}
-		out = append(out, 1, t.A, t.B)
-		walk(t.Left)
-		walk(t.Right)
+	// A trie with L leaves has L-1 internal nodes: 4L-3 tokens exactly.
+	return t.appendTokens(make([]int, 0, 4*t.leaves-3))
+}
+
+func (t *Trie) appendTokens(out []int) []int {
+	if t.IsLeaf() {
+		return append(out, 0)
 	}
-	walk(t)
-	return out
+	out = append(out, 1, t.A, t.B)
+	out = t.Left.appendTokens(out)
+	return t.Right.appendTokens(out)
 }
 
 // FromTokens parses a trie from the front of a token stream, returning
@@ -71,12 +69,20 @@ func FromTokens(tokens []int) (*Trie, int, error) {
 // couples, and for each couple the integer J followed by the inline trie
 // stream. This realizes bin(E2) within the budget of Proposition 3.4.
 func (e E2) TokensE2() []int {
-	out := []int{len(e)}
+	total := 1
+	for _, l := range e {
+		total += 2
+		for _, c := range l.Couples {
+			total += 1 + 4*c.T.Leaves() - 3
+		}
+	}
+	out := make([]int, 0, total)
+	out = append(out, len(e))
 	for _, l := range e {
 		out = append(out, l.Depth, len(l.Couples))
 		for _, c := range l.Couples {
 			out = append(out, c.J)
-			out = append(out, c.T.Tokens()...)
+			out = c.T.appendTokens(out)
 		}
 	}
 	return out

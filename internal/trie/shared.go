@@ -2,6 +2,7 @@ package trie
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bits"
 	"repro/internal/view"
@@ -9,27 +10,36 @@ import (
 
 // SharedLabeler evaluates RetrieveLabel like Labeler but is safe for
 // concurrent use, so one instance can back every node of a simulation
-// run. Labels are pure functions of (view, E1, E2); sharing the memo
-// across deciders changes no output, it only makes each distinct view's
-// label be computed once per run instead of once per node — on large
-// graphs the difference between O(Σ_l k_l) and O(n · ball) trie work.
-// An instance must only ever be queried with one (E1, E2) pair, exactly
-// like the per-node Labeler it replaces (Algorithm Elect's discipline).
+// run and every worker of the oracle's label sweep. Labels are pure
+// functions of (view, E1, E2); sharing the memo across deciders changes
+// no output, it only makes each distinct view's label be computed once
+// per run instead of once per node — on large graphs the difference
+// between O(Σ_l k_l) and O(n · ball) trie work.
+// An instance must only ever be queried with one advice's (E1, E2) —
+// or, like the oracle does while constructing E2, with growing prefixes
+// of it (sound per Claim 3.7; see RetrieveLabel).
 //
-// The memo and the depth-1 encoding cache are striped by the view's
-// interning identity. A label may be computed twice under contention;
-// both writers store the same value, so the race is benign and the maps
-// themselves are still guarded.
+// The label memo is an atomic array indexed by the view's interning
+// identity (identities are dense, so the array is as big as the table):
+// a hit is one bounds check and one atomic load, where the striped maps
+// this replaces paid a hash of the pointer plus shard locking on every
+// probe of the oracle's hot sweep. Label 0 is "unset" — RetrieveLabel
+// always returns >= 1. The array grows by copy under a mutex; a store
+// racing a grow can land in the discarded array, which only means the
+// deterministic label is recomputed on the next miss. The depth-1
+// encoding cache keeps the striped-map layout: it is off the sweep's
+// hot path (localLabel fetches it once per descent).
 type SharedLabeler struct {
 	Tab    *view.Table
-	shards [labelShards]labelShard
+	labels atomic.Pointer[[]atomic.Int32]
+	growMu sync.Mutex
+	shards [labelShards]encShard
 }
 
 const labelShards = 64
 
-type labelShard struct {
+type encShard struct {
 	mu   sync.RWMutex
-	memo map[*view.View]int
 	enc1 map[*view.View]bits.String
 }
 
@@ -37,13 +47,12 @@ type labelShard struct {
 func NewSharedLabeler(tab *view.Table) *SharedLabeler {
 	sl := &SharedLabeler{Tab: tab}
 	for i := range sl.shards {
-		sl.shards[i].memo = make(map[*view.View]int)
 		sl.shards[i].enc1 = make(map[*view.View]bits.String)
 	}
 	return sl
 }
 
-func (sl *SharedLabeler) shard(v *view.View) *labelShard {
+func (sl *SharedLabeler) shard(v *view.View) *encShard {
 	return &sl.shards[v.ID()&(labelShards-1)]
 }
 
@@ -68,18 +77,60 @@ func (sl *SharedLabeler) LocalLabel(b *view.View, x []int, t *Trie) int {
 	return localLabel(sl, b, x, t)
 }
 
+// BuildTrie is Algorithm 4 of the paper; see Labeler.BuildTrie. The
+// class-sharing oracle builds the couple tries of one depth
+// concurrently over a worker pool, all sharing this labeler's memo;
+// that is sound for the same reason the memo itself is: labels and trie
+// splits are pure functions of (view set, E1, E2 prefix).
+func (sl *SharedLabeler) BuildTrie(s []*view.View, e1 *Trie, e2 E2) *Trie {
+	return buildTrie(sl, sl.Tab, s, e1, e2)
+}
+
 // RetrieveLabel is Algorithm 3 of the paper; see Labeler.RetrieveLabel.
+// Like Labeler, a SharedLabeler may be queried with growing prefixes of
+// one advice's E2 (the oracle does, depth by depth): per Claim 3.7 the
+// label of a depth-k view is identical under every prefix covering
+// depth k, so the memo stays sound.
 func (sl *SharedLabeler) RetrieveLabel(b *view.View, e1 *Trie, e2 E2) int {
-	s := sl.shard(b)
-	s.mu.RLock()
-	v, ok := s.memo[b]
-	s.mu.RUnlock()
-	if ok {
-		return v
+	id := b.ID()
+	if arr := sl.labels.Load(); arr != nil && id < uint64(len(*arr)) {
+		if l := (*arr)[id].Load(); l != 0 {
+			return int(l)
+		}
 	}
 	out := retrieveLabel(sl, sl.Tab, b, e1, e2)
-	s.mu.Lock()
-	s.memo[b] = out
-	s.mu.Unlock()
+	sl.storeLabel(id, int32(out))
 	return out
+}
+
+// storeLabel records a computed label, growing the array to cover the
+// table's current size when the identity is out of range.
+func (sl *SharedLabeler) storeLabel(id uint64, label int32) {
+	arr := sl.labels.Load()
+	if arr == nil || id >= uint64(len(*arr)) {
+		sl.growMu.Lock()
+		arr = sl.labels.Load()
+		if arr == nil || id >= uint64(len(*arr)) {
+			newLen := sl.Tab.Size()
+			if arr != nil && newLen < 2*len(*arr) {
+				newLen = 2 * len(*arr)
+			}
+			if newLen < int(id)+1 {
+				newLen = int(id) + 1
+			}
+			if newLen < 1024 {
+				newLen = 1024
+			}
+			na := make([]atomic.Int32, newLen)
+			if arr != nil {
+				for i := range *arr {
+					na[i].Store((*arr)[i].Load())
+				}
+			}
+			sl.labels.Store(&na)
+			arr = &na
+		}
+		sl.growMu.Unlock()
+	}
+	(*arr)[id].Store(label)
 }

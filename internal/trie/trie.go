@@ -78,9 +78,9 @@ type LevelList struct {
 // ascending), with prefix sums of (Leaves − 1). It is immutable after
 // construction, so sharing it across concurrently labeling nodes is safe.
 type levelIndex struct {
-	js  []int    // distinct Js, ascending
-	ts  []*Trie  // trie of each J
-	cum []int    // cum[i] = Σ_{k<i} (ts[k].Leaves() − 1)
+	js  []int   // distinct Js, ascending
+	ts  []*Trie // trie of each J
+	cum []int   // cum[i] = Σ_{k<i} (ts[k].Leaves() − 1)
 }
 
 func newLevelIndex(cs []Couple) *levelIndex {
@@ -210,38 +210,48 @@ type evaluator interface {
 	Encode1(v *view.View) bits.String
 }
 
-// localLabel is Algorithm 2 of the paper (see Labeler.LocalLabel).
+// localLabel is Algorithm 2 of the paper (see Labeler.LocalLabel). The
+// descent is iterative and, for depth-1 queries, looks the view's
+// encoding up once for the whole branch — the recursive form re-fetched
+// it from the encoding cache at every internal node, which made the
+// cache lookup the hottest instruction of the oracle's label sweep.
 func localLabel(lb evaluator, b *view.View, x []int, t *Trie) int {
-	if t.IsLeaf() {
-		return 1
+	var enc bits.String
+	if len(x) == 0 && !t.IsLeaf() {
+		enc = lb.Encode1(b)
 	}
-	left := false
-	if len(x) == 0 {
-		enc := lb.Encode1(b)
-		switch t.A {
-		case 0:
-			if enc.Len() < t.B {
+	sum := 1
+	for !t.IsLeaf() {
+		left := false
+		if len(x) == 0 {
+			switch t.A {
+			case 0:
+				if enc.Len() < t.B {
+					left = true
+				}
+			case 1:
+				if !enc.Bit1(t.B) {
+					left = true
+				}
+			default:
+				panic(fmt.Sprintf("trie: invalid depth-1 query kind %d", t.A))
+			}
+		} else {
+			if t.A < 0 || t.A >= len(x) {
+				panic(fmt.Sprintf("trie: query port %d out of range for %d children", t.A, len(x)))
+			}
+			if x[t.A] != t.B {
 				left = true
 			}
-		case 1:
-			if !enc.Bit1(t.B) {
-				left = true
-			}
-		default:
-			panic(fmt.Sprintf("trie: invalid depth-1 query kind %d", t.A))
 		}
-	} else {
-		if t.A < 0 || t.A >= len(x) {
-			panic(fmt.Sprintf("trie: query port %d out of range for %d children", t.A, len(x)))
-		}
-		if x[t.A] != t.B {
-			left = true
+		if left {
+			t = t.Left
+		} else {
+			sum += t.Left.Leaves()
+			t = t.Right
 		}
 	}
-	if left {
-		return localLabel(lb, b, x, t.Left)
-	}
-	return t.Left.Leaves() + localLabel(lb, b, x, t.Right)
+	return sum
 }
 
 // retrieveLabel is Algorithm 3 of the paper (see Labeler.RetrieveLabel),
@@ -257,9 +267,15 @@ func retrieveLabel(lb evaluator, tab *view.Table, b *view.View, e1 *Trie, e2 E2)
 	if b.Depth < 1 {
 		panic("trie: RetrieveLabel of depth-0 view")
 	}
-	x := make([]int, b.Deg)
-	for j, e := range b.Edges {
-		x[j] = lb.RetrieveLabel(e.Child, e1, e2)
+	// Child labels; a stack buffer covers all but the highest-degree
+	// roots, so the label sweep over n nodes does not allocate n slices.
+	var xbuf [16]int
+	x := xbuf[:0]
+	if b.Deg > len(xbuf) {
+		x = make([]int, 0, b.Deg)
+	}
+	for _, e := range b.Edges {
+		x = append(x, lb.RetrieveLabel(e.Child, e1, e2))
 	}
 	label := lb.RetrieveLabel(tab.Truncate(b), e1, e2)
 	le := e2.levelEntry(b.Depth)
@@ -317,117 +333,234 @@ func (lb *Labeler) RetrieveLabel(b *view.View, e1 *Trie, e2 E2) int {
 // augmented truncated views at the same positive depth; e1 is nil exactly
 // in the depth-1 bootstrap case (then queries inspect binary
 // representations); otherwise queries use the temporary labels induced by
-// e1 and e2. The returned trie has exactly len(s) leaves.
+// e1 and e2. The returned trie has exactly len(s) leaves; s itself is
+// not modified. The resulting trie is a pure function of the *set* s —
+// every split is decided by canonically distinguished elements — which
+// is what lets the class-sharing oracle enumerate candidate sets in
+// class order rather than canonical order.
 func (lb *Labeler) BuildTrie(s []*view.View, e1 *Trie, e2 E2) *Trie {
+	return buildTrie(lb, lb.Tab, s, e1, e2)
+}
+
+// buildTrie is the implementation shared by Labeler and SharedLabeler.
+// It copies s once, then splits in place with a stable two-way
+// partition over one scratch buffer: the recursion allocates no
+// per-node maps or side slices (the old form allocated a membership map
+// per internal node, which made the oracle GC-bound at 100k nodes). In
+// the depth-1 bootstrap it also materializes each view's encoding once
+// into a slice carried through the recursion, instead of hitting the
+// encoding cache at every length/bit inspection.
+func buildTrie(lb evaluator, tab *view.Table, s []*view.View, e1 *Trie, e2 E2) *Trie {
 	if len(s) == 0 {
 		panic("trie: BuildTrie of empty set")
 	}
 	if len(s) == 1 {
 		return NewLeaf()
 	}
-	var sPrime []*view.View
-	var a, bq int
+	if len(s) == 2 && e1 != nil {
+		// The common shape at the refinement's deepest levels: a couple
+		// of two views needs no set copies or scratch at all.
+		return buildTriePair(lb, tab, s[0], s[1], e1, e2)
+	}
+	set := make([]*view.View, len(s))
+	copy(set, s)
+	scratch := make([]*view.View, len(s))
 	if e1 == nil {
-		// Depth-1 bootstrap: discriminate on the actual encodings.
-		maxLen := 0
-		for _, v := range s {
-			if l := lb.Encode1(v).Len(); l > maxLen {
-				maxLen = l
-			}
+		encs := make([]bits.String, len(s))
+		for i, v := range set {
+			encs[i] = lb.Encode1(v)
 		}
-		allMax := true
-		for _, v := range s {
-			if lb.Encode1(v).Len() < maxLen {
-				allMax = false
-				break
-			}
-		}
-		if !allMax {
-			a, bq = 0, maxLen
-			for _, v := range s {
-				if lb.Encode1(v).Len() < maxLen {
-					sPrime = append(sPrime, v)
-				}
-			}
-		} else {
-			j := 0
-			for j = 1; j <= maxLen; j++ {
-				first := lb.Encode1(s[0]).Bit1(j)
-				diff := false
-				for _, v := range s[1:] {
-					if lb.Encode1(v).Bit1(j) != first {
-						diff = true
-						break
-					}
-				}
-				if diff {
-					break
-				}
-			}
-			if j > maxLen {
-				panic("trie: BuildTrie called with duplicate depth-1 views")
-			}
-			a, bq = 1, j
-			for _, v := range s {
-				if !lb.Encode1(v).Bit1(j) {
-					sPrime = append(sPrime, v)
-				}
-			}
-		}
-	} else {
-		// Deeper levels: all views of s share the same truncation; find
-		// the discriminatory index of the two canonically smallest views.
-		u, v := lb.twoSmallest(s)
-		idx := -1
-		for i := range u.Edges {
-			if u.Edges[i].Child != v.Edges[i].Child {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			panic("trie: BuildTrie called with duplicate views")
-		}
-		bdisc := u.Edges[idx].Child
-		if lb.Tab.Compare(v.Edges[idx].Child, bdisc) < 0 {
-			bdisc = v.Edges[idx].Child
-		}
-		a, bq = idx, lb.RetrieveLabel(bdisc, e1, e2)
-		for _, w := range s {
-			if w.Edges[idx].Child != bdisc {
-				sPrime = append(sPrime, w)
-			}
+		encScratch := make([]bits.String, len(s))
+		return buildTrie1(set, encs, scratch, encScratch)
+	}
+	// The views of s share a truncation, hence degree and remote ports:
+	// their canonical order is decided by their children alone. Fetch
+	// the children's canonical ranks once — ranking depth d-1 instead of
+	// depth d matters because the deepest levels of the refinement often
+	// split off only a handful of couples, and ranking their own depth
+	// would sort every view of the table's top depth to serve them. The
+	// two-smallest scan at every internal node of the recursion is then
+	// an integer scan.
+	deg := set[0].Deg
+	flat := make([]*view.View, 0, len(set)*deg)
+	for _, v := range set {
+		for i := range v.Edges {
+			flat = append(flat, v.Edges[i].Child)
 		}
 	}
-	rest := make([]*view.View, 0, len(s)-len(sPrime))
-	inPrime := make(map[*view.View]bool, len(sPrime))
-	for _, v := range sPrime {
-		inPrime[v] = true
+	rows := tab.Ranks(flat, make([]uint64, 0, len(flat)))
+	ri := make([]int32, len(set))
+	for i := range ri {
+		ri[i] = int32(i)
 	}
-	for _, v := range s {
-		if !inPrime[v] {
-			rest = append(rest, v)
-		}
-	}
-	if len(sPrime) == 0 || len(rest) == 0 {
-		panic("trie: BuildTrie split produced an empty side")
-	}
-	return NewInternal(a, bq, lb.BuildTrie(sPrime, e1, e2), lb.BuildTrie(rest, e1, e2))
+	riScratch := make([]int32, len(set))
+	return buildTrieDeep(lb, tab, set, rows, deg, ri, scratch, riScratch, e1, e2)
 }
 
-// twoSmallest returns the two canonically smallest views of s (|s| >= 2).
-func (lb *Labeler) twoSmallest(s []*view.View) (*view.View, *view.View) {
-	min1, min2 := s[0], s[1]
-	if lb.Tab.Compare(min2, min1) < 0 {
-		min1, min2 = min2, min1
-	}
-	for _, v := range s[2:] {
-		switch {
-		case lb.Tab.Compare(v, min1) < 0:
-			min1, min2 = v, min1
-		case lb.Tab.Compare(v, min2) < 0:
-			min2 = v
+// buildTriePair is buildTrieDeep for a candidate set of exactly two
+// views: the split index is their first differing child, and the single
+// child comparison runs shallowly (degree, ports, then grandchild
+// ranks) so a two-view couple at the refinement's top depth never
+// triggers a rank pass over that whole depth.
+func buildTriePair(lb evaluator, tab *view.Table, u, v *view.View, e1 *Trie, e2 E2) *Trie {
+	idx := -1
+	for i := range u.Edges {
+		if u.Edges[i].Child != v.Edges[i].Child {
+			idx = i
+			break
 		}
 	}
-	return min1, min2
+	if idx < 0 {
+		panic("trie: BuildTrie called with duplicate views")
+	}
+	bdisc := u.Edges[idx].Child
+	if tab.CompareShallow(v.Edges[idx].Child, bdisc) < 0 {
+		bdisc = v.Edges[idx].Child
+	}
+	return NewInternal(idx, lb.RetrieveLabel(bdisc, e1, e2), NewLeaf(), NewLeaf())
+}
+
+// buildTrie1 is the depth-1 bootstrap of Algorithm 4: discriminate on
+// the binary representations themselves. encs[i] is the encoding of
+// s[i] and is permuted alongside it.
+func buildTrie1(s []*view.View, encs []bits.String, scratch []*view.View, encScratch []bits.String) *Trie {
+	if len(s) == 1 {
+		return NewLeaf()
+	}
+	maxLen := 0
+	for _, e := range encs {
+		if e.Len() > maxLen {
+			maxLen = e.Len()
+		}
+	}
+	allMax := true
+	for _, e := range encs {
+		if e.Len() < maxLen {
+			allMax = false
+			break
+		}
+	}
+	var a, bq, k int
+	if !allMax {
+		a, bq = 0, maxLen
+		k = partition1(s, encs, scratch, encScratch, func(i int) bool {
+			return encs[i].Len() < maxLen
+		})
+	} else {
+		// All encodings have equal length: split on the smallest bit
+		// position where some view disagrees with the first — the
+		// byte-level scan form of "the first j where the set differs".
+		j := -1
+		for _, e := range encs[1:] {
+			if d := bits.FirstDiff(encs[0], e); d >= 0 && (j < 0 || d+1 < j) {
+				j = d + 1
+			}
+		}
+		if j < 0 {
+			panic("trie: BuildTrie called with duplicate depth-1 views")
+		}
+		a, bq = 1, j
+		k = partition1(s, encs, scratch, encScratch, func(i int) bool {
+			return !encs[i].Bit1(j)
+		})
+	}
+	if k == 0 || k == len(s) {
+		panic("trie: BuildTrie split produced an empty side")
+	}
+	return NewInternal(a, bq,
+		buildTrie1(s[:k], encs[:k], scratch, encScratch),
+		buildTrie1(s[k:], encs[k:], scratch, encScratch))
+}
+
+// buildTrieDeep is the deeper-level case of Algorithm 4: all views of s
+// share the same truncation; split on the discriminatory index of the
+// two canonically smallest views. Because the truncation fixes degree
+// and remote ports, "canonically smallest" is decided by the children:
+// rows holds the packed canonical ranks of every view's children (one
+// generation for the whole set), row ri[i] — deg consecutive entries —
+// belonging to s[i]; ri is permuted alongside s.
+func buildTrieDeep(lb evaluator, tab *view.Table, s []*view.View, rows []uint64, deg int, ri []int32, scratch []*view.View, riScratch []int32, e1 *Trie, e2 E2) *Trie {
+	if len(s) == 1 {
+		return NewLeaf()
+	}
+	row := func(i int) []uint64 {
+		o := int(ri[i]) * deg
+		return rows[o : o+deg]
+	}
+	rowLess := func(a, b []uint64) bool {
+		for j := 0; j < deg; j++ {
+			if a[j] != b[j] {
+				return a[j] < b[j]
+			}
+		}
+		return false
+	}
+	// Two smallest by child-rank rows: one lexicographic scan.
+	i1, i2 := 0, 1
+	if rowLess(row(1), row(0)) {
+		i1, i2 = 1, 0
+	}
+	for i := 2; i < len(s); i++ {
+		switch {
+		case rowLess(row(i), row(i1)):
+			i1, i2 = i, i1
+		case rowLess(row(i), row(i2)):
+			i2 = i
+		}
+	}
+	u, v := s[i1], s[i2]
+	idx := -1
+	for i := range u.Edges {
+		if u.Edges[i].Child != v.Edges[i].Child {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("trie: BuildTrie called with duplicate views")
+	}
+	bdisc := u.Edges[idx].Child
+	if row(i2)[idx] < row(i1)[idx] {
+		bdisc = v.Edges[idx].Child
+	}
+	a, bq := idx, lb.RetrieveLabel(bdisc, e1, e2)
+	k, r := 0, 0
+	for i, w := range s {
+		if w.Edges[idx].Child != bdisc {
+			s[k], ri[k] = w, ri[i]
+			k++
+		} else {
+			scratch[r], riScratch[r] = w, ri[i]
+			r++
+		}
+	}
+	copy(s[k:], scratch[:r])
+	copy(ri[k:], riScratch[:r])
+	if k == 0 || r == 0 {
+		panic("trie: BuildTrie split produced an empty side")
+	}
+	return NewInternal(a, bq,
+		buildTrieDeep(lb, tab, s[:k], rows, deg, ri[:k], scratch, riScratch, e1, e2),
+		buildTrieDeep(lb, tab, s[k:], rows, deg, ri[k:], scratch, riScratch, e1, e2))
+}
+
+// partition1 stably reorders s (and the parallel encs) so the elements
+// with pred true come first, preserving relative order on both sides,
+// and returns how many satisfy pred. pred is indexed against the
+// pre-partition positions, so it must read encs before position i is
+// overwritten — the compaction writes at k <= i, which guarantees that.
+func partition1(s []*view.View, encs []bits.String, scratch []*view.View, encScratch []bits.String, pred func(i int) bool) int {
+	k, r := 0, 0
+	for i, v := range s {
+		if pred(i) {
+			s[k], encs[k] = v, encs[i]
+			k++
+		} else {
+			scratch[r], encScratch[r] = v, encs[i]
+			r++
+		}
+	}
+	copy(s[k:], scratch[:r])
+	copy(encs[k:], encScratch[:r])
+	return k
 }

@@ -261,6 +261,22 @@ func (t *Table) Truncate(v *View) *View {
 	return out
 }
 
+// SeedTruncation records tr as the memoized Truncate result of v. The
+// caller must guarantee tr == Truncate(v); the class-sharing
+// materializer can, structurally — it builds the depth-(d+1) view of a
+// class from the depth-d class views of its members' neighbors, so the
+// depth-d view of the same class is the truncation by Proposition 2.1.
+// Seeding makes every later Truncate of a materialized class view O(1)
+// instead of a full re-interning walk of its DAG (RetrieveLabel
+// truncates every view it labels, so the oracle and Algorithm Elect
+// both sit on this path).
+func (t *Table) SeedTruncation(v, tr *View) {
+	if tr.Depth != v.Depth-1 {
+		panic(fmt.Sprintf("view: seeding depth-%d view with depth-%d truncation", v.Depth, tr.Depth))
+	}
+	v.trunc.Store(tr)
+}
+
 // TruncateTo truncates v down to the given depth (<= v.Depth).
 func (t *Table) TruncateTo(v *View, depth int) *View {
 	if depth > v.Depth || depth < 0 {
@@ -279,15 +295,31 @@ func (t *Table) TruncateTo(v *View, depth int) *View {
 // the encoding is Concat(Concat(bin(0), bin(a_0), bin(b_0)), ...). The
 // depth-1 trie queries of BuildTrie inspect lengths and individual bits
 // of this encoding, so it is materialized exactly.
+//
+// The nested Concat is written out directly — bin digits quadrupled
+// (doubled by the inner Concat, doubled again by the outer), inner
+// separators 01 doubled to 0011, outer separators plain 01 — instead of
+// materializing one intermediate bits.String per port. The oracle
+// encodes every distinct depth-1 view of the graph, so the intermediate
+// strings used to dominate its allocation profile;
+// TestEncodeDepth1MatchesNestedConcat pins the output to the
+// Concat/ConcatInts composition bit for bit.
 func EncodeDepth1(v *View) bits.String {
 	if v.Depth != 1 {
 		panic(fmt.Sprintf("view: EncodeDepth1 of depth-%d view", v.Depth))
 	}
-	parts := make([]bits.String, v.Deg)
+	var w bits.Writer
 	for j, e := range v.Edges {
-		parts[j] = bits.ConcatInts(j, e.RemotePort, e.Child.Deg)
+		if j > 0 {
+			w.WriteBits(0b01, 2) // outer separator, not doubled
+		}
+		w.WriteBinRepeated(j, 4) // bin digits doubled twice
+		w.WriteBits(0b0011, 4)   // inner separator 01, doubled once
+		w.WriteBinRepeated(e.RemotePort, 4)
+		w.WriteBits(0b0011, 4)
+		w.WriteBinRepeated(e.Child.Deg, 4)
 	}
-	return bits.Concat(parts...)
+	return w.String()
 }
 
 // distinctCount returns the number of distinct views in vs.

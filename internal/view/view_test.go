@@ -447,3 +447,30 @@ func TestLevelSetsAreDistanceBalls(t *testing.T) {
 		}
 	}
 }
+
+// EncodeDepth1's direct writer must reproduce the nested
+// Concat(ConcatInts(j, a_j, b_j)...) composition bit for bit on every
+// depth-1 view of a varied set of graphs — the spec it replaced with
+// quadrupled-digit writes.
+func TestEncodeDepth1MatchesNestedConcat(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(5),
+		graph.Star(7),
+		graph.Clique(5),
+		graph.Grid(3, 4),
+		graph.ShufflePorts(graph.Hypercube(4), 3),
+		graph.RandomConnected(30, 40, 11),
+	} {
+		tb := NewTable()
+		for _, v := range Levels(tb, g, 1)[1] {
+			parts := make([]bits.String, v.Deg)
+			for j, e := range v.Edges {
+				parts[j] = bits.ConcatInts(j, e.RemotePort, e.Child.Deg)
+			}
+			want := bits.Concat(parts...)
+			if !bits.Equal(EncodeDepth1(v), want) {
+				t.Fatalf("EncodeDepth1 diverges from nested Concat on %v", v)
+			}
+		}
+	}
+}
