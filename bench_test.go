@@ -520,6 +520,70 @@ func BenchmarkOracleScale(b *testing.B) {
 	}
 }
 
+// E23 — the class-sharing asynchronous engine at scale (DESIGN.md §7):
+// the full min-time pipeline on the event-driven engine under every
+// delay model, on the E20/E21 graph families at 10k and 100k nodes.
+// Each subbenchmark also checks the engine contract — Outputs, Rounds
+// and Time identical to the BSP reference computed once per graph —
+// so every bench run doubles as the at-scale conformance pass. Beyond
+// ns/op it reports the logical rounds, the virtual completion time,
+// the maximum round skew the model induced, and delivered messages.
+func BenchmarkAsyncScale(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		make func() *Graph
+	}{
+		{"random-n10000", func() *Graph { return RandomConnected(10_000, 5_000, 1) }},
+		{"random-n100000", func() *Graph { return RandomConnected(100_000, 50_000, 1) }},
+		{"torus-100x100", func() *Graph { return ShufflePorts(Torus(100, 100), 1) }},
+		{"torus-320x320", func() *Graph { return ShufflePorts(Torus(320, 320), 1) }},
+		{"hypercube-d13", func() *Graph { return ShufflePorts(Hypercube(13), 1) }},
+		{"hypercube-d17", func() *Graph { return ShufflePorts(Hypercube(17), 1) }},
+	} {
+		// Graph construction and the BSP reference run are deferred to
+		// the first *selected* subbenchmark, so a bench filter (the CI
+		// smoke runs only two 10k rows) never pays for the 100k graphs
+		// it skips; the names stay flat to match the recorded BENCH
+		// trajectories.
+		var g *Graph
+		var s *System
+		var ref *Result
+		setup := func(b *testing.B) {
+			if g != nil {
+				return
+			}
+			g = tc.make()
+			s = NewSystem()
+			var err error
+			ref, err = s.RunMinTime(g, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, mname := range []string{"uniform", "exp", "pareto", "fixed", "fifo", "slowcut"} {
+			b.Run(tc.name+"-"+mname, func(b *testing.B) {
+				setup(b)
+				model := DelayModels(g)[mname]
+				var res *Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = s.RunMinTime(g, Options{Async: true, AsyncSeed: 1, Delay: model})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				requireSameElection(b, tc.name+"/"+mname, ref, res)
+				b.ReportMetric(float64(res.Time), "rounds")
+				b.ReportMetric(res.VirtualTime, "virtual-time")
+				b.ReportMetric(float64(res.MaxSkew), "max-skew")
+				b.ReportMetric(float64(res.Messages), "messages")
+			})
+		}
+	}
+}
+
 // E19 — raw view-interning throughput (DESIGN.md §1): a fresh table
 // interning a 200-node graph's levels, and GOMAXPROCS goroutines
 // hammering one shared table with the same views, which exercises the

@@ -26,6 +26,21 @@
 //	view  legacy interned-view refinement for φ/partition, sequential
 //	      simulation — for cross-checking and profiling
 //
+// -async runs the election on the class-sharing asynchronous engine
+// instead: an event-driven network bridged by the time-stamp
+// synchronizer, whose per-message delays are chosen by the -delay
+// adversary (seeded by -seed):
+//
+//	electsim -graph random -n 100000 -algo mintime -async -delay=pareto
+//	electsim -graph hairy -n 64 -algo mintime -async -delay=slowcut
+//
+// Delay models: uniform (0,1] (default), exp, pareto (heavy tail),
+// fixed (frozen per-edge latencies), fifo (per-link in-order
+// delivery), slowcut (starves the cut between the first half of the
+// node ids and the rest). The elected leader and the logical rounds
+// are identical under every model — only the virtual schedule, which
+// the run reports, differs.
+//
 // The -cpuprofile/-memprofile flags cover whichever path runs.
 package main
 
@@ -53,6 +68,8 @@ func main() {
 		x          = flag.Int("x", 0, "parameter x for -algo generic (default: the election index)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node engine")
 		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
+		async      = flag.Bool("async", false, "use the asynchronous event-driven engine (time-stamp synchronizer)")
+		delay      = flag.String("delay", "uniform", "async delay model: uniform, exp, pareto, fixed, fifo, slowcut")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -87,12 +104,12 @@ func main() {
 				}
 			}()
 		}
-		return run(*graphKind, *load, *save, *algo, *engine, *n, *x, *workers, *seed, *concurrent, *wire)
+		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *seed, *concurrent, *wire, *async)
 	}()
 	os.Exit(code)
 }
 
-func run(graphKind, load, save, algo, engine string, n, x, workers int, seed int64, concurrent, wire bool) int {
+func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, seed int64, concurrent, wire, async bool) int {
 
 	var g *election.Graph
 	var err error
@@ -163,6 +180,14 @@ func run(graphKind, load, save, algo, engine string, n, x, workers int, seed int
 	}
 
 	opts := election.Options{Engine: simEngine, Workers: workers, Concurrent: concurrent, Wire: wire}
+	if async {
+		model, ok := election.DelayModels(g)[delay]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "electsim: unknown delay model %q (want uniform, exp, pareto, fixed, fifo or slowcut)\n", delay)
+			return 1
+		}
+		opts.Async, opts.AsyncSeed, opts.Delay = true, seed, model
+	}
 	var res *election.Result
 	switch algo {
 	case "mintime":
@@ -197,6 +222,9 @@ func run(graphKind, load, save, algo, engine string, n, x, workers int, seed int
 		fmt.Printf("time: %d rounds (diameter in [%d,%d], election index %d)\n", res.Time, lo, hi, phi)
 	}
 	fmt.Printf("advice: %d bits\n", res.AdviceBits)
+	if async {
+		fmt.Printf("async schedule (%s): virtual time %.3f, max round skew %d\n", delay, res.VirtualTime, res.MaxSkew)
+	}
 	if res.ClassViews > 0 {
 		fmt.Printf("class views interned: %d (%.1f per round)\n",
 			res.ClassViews, float64(res.ClassViews)/float64(res.Time+1))

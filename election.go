@@ -169,14 +169,51 @@ const (
 // the Concurrent/Async flags override Engine with the message-passing
 // realizations (goroutine per node, event-driven asynchrony).
 type Options struct {
-	Engine     SimEngine // synchronous engine: SimBSP (default) or SimSequential
-	Workers    int       // BSP decide-sweep workers; 0 = GOMAXPROCS
-	Concurrent bool      // one goroutine per node, channel message passing
-	Wire       bool      // serialize every message to bits (concurrent only)
-	Async      bool      // asynchronous network + time-stamp synchronizer
-	AsyncSeed  int64     // message-delay seed for Async runs
-	MaxRounds  int       // 0 means a default proportional to the graph size
+	Engine     SimEngine  // synchronous engine: SimBSP (default) or SimSequential
+	Workers    int        // BSP decide-sweep workers; 0 = GOMAXPROCS
+	Concurrent bool       // one goroutine per node, channel message passing
+	Wire       bool       // serialize every message to bits (concurrent only)
+	Async      bool       // asynchronous network + time-stamp synchronizer
+	AsyncSeed  int64      // message-delay seed for Async runs
+	Delay      DelayModel // Async delay adversary; nil = uniform (0,1]
+	MaxRounds  int        // 0 means a default proportional to the graph size
 }
+
+// DelayModel is the asynchronous engine's adversary: it assigns a
+// virtual in-flight time to every message (see internal/sim/delay.go).
+// Decisions and logical rounds are invariant across models; virtual
+// time and round skew are not.
+type DelayModel = sim.DelayModel
+
+// The delay models of the asynchronous engine, re-exported.
+type (
+	// UniformDelay draws delays uniformly from (0, 1] (the default).
+	UniformDelay = sim.UniformDelay
+	// ExponentialDelay draws memoryless delays with a given mean.
+	ExponentialDelay = sim.ExponentialDelay
+	// ParetoDelay draws heavy-tailed Pareto delays.
+	ParetoDelay = sim.ParetoDelay
+	// FixedEdgeDelay freezes one adversarial latency per directed edge.
+	FixedEdgeDelay = sim.FixedEdgeDelay
+	// FIFODelay constrains a base model so links deliver in send order.
+	FIFODelay = sim.FIFODelay
+	// SlowCutDelay starves every edge crossing a node cut.
+	SlowCutDelay = sim.SlowCutDelay
+)
+
+var (
+	// NewUniformDelay returns the default uniform-(0,1] model.
+	NewUniformDelay = sim.NewUniformDelay
+	// NewSlowCutDelay starves the cut between inCut and its complement.
+	NewSlowCutDelay = sim.NewSlowCutDelay
+	// DropDelay, returned by an adversarial model, loses the message.
+	DropDelay = sim.Drop
+)
+
+// DelayModels returns one instance of every delay model, keyed by the
+// names that electsim's -delay flag accepts — sim.AllDelayModels, the
+// single registry the differential suites and benchmarks iterate.
+func DelayModels(g *Graph) map[string]DelayModel { return sim.AllDelayModels(g) }
 
 // Result reports an election outcome.
 type Result struct {
@@ -187,7 +224,13 @@ type Result struct {
 	Rounds     []int   // per-node decision rounds
 	Messages   int     // total messages exchanged
 	WireBits   int     // total bits on the wire (Wire mode only)
-	ClassViews int     // representative views interned (SimBSP only)
+	ClassViews int     // representative views interned (SimBSP/Async)
+
+	// Async-only schedule measurements: the virtual time at which the
+	// last node decided and the maximum observed logical-round spread
+	// between the fastest node and the slowest undecided one.
+	VirtualTime float64
+	MaxSkew     int
 }
 
 func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result, error) {
@@ -197,12 +240,14 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 	}
 	var res *sim.Result
 	var err error
+	virtualTime, maxSkew := 0.0, 0
 	switch {
 	case o.Async:
 		var ar *sim.AsyncResult
-		ar, err = sim.RunAsync(s.table(), g, f, maxRounds, o.AsyncSeed)
+		ar, err = sim.RunAsync(s.table(), g, f, maxRounds, o.AsyncSeed, o.Delay)
 		if ar != nil {
 			res = &ar.Result
+			virtualTime, maxSkew = ar.VirtualTime, ar.MaxSkew
 		}
 	case o.Concurrent:
 		res, err = sim.RunConcurrent(s.table(), g, f, maxRounds, o.Wire)
@@ -222,7 +267,8 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 		Leader: leader, Time: res.Time, AdviceBits: adviceLen,
 		Outputs: res.Outputs, Rounds: res.Rounds,
 		Messages: res.Messages, WireBits: res.WireBits,
-		ClassViews: res.ClassViews,
+		ClassViews:  res.ClassViews,
+		VirtualTime: virtualTime, MaxSkew: maxSkew,
 	}, nil
 }
 

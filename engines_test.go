@@ -64,6 +64,27 @@ func engineOptions() map[string]Options {
 	}
 }
 
+// requireSameElection asserts the engine-conformance contract between
+// an election result and its reference: same Leader, Time, per-node
+// Rounds and per-node Outputs. Messages is deliberately excluded — on
+// the asynchronous engine it counts delivered messages, a property of
+// the schedule, not of the algorithm. Shared by the differential
+// suite, the fuzz targets and the at-scale benchmarks so the contract
+// lives in one place.
+func requireSameElection(tb testing.TB, label string, ref, res *Result) {
+	tb.Helper()
+	if res.Time != ref.Time || res.Leader != ref.Leader {
+		tb.Errorf("%s: (time=%d leader=%d) != reference (time=%d leader=%d)",
+			label, res.Time, res.Leader, ref.Time, ref.Leader)
+	}
+	if !reflect.DeepEqual(res.Rounds, ref.Rounds) {
+		tb.Errorf("%s: per-node rounds differ from the reference", label)
+	}
+	if !reflect.DeepEqual(res.Outputs, ref.Outputs) {
+		tb.Errorf("%s: per-node outputs differ from the reference", label)
+	}
+}
+
 func checkResultsAgree(t *testing.T, label string, results map[string]*Result) {
 	t.Helper()
 	ref := results["sequential"]
@@ -152,6 +173,78 @@ func TestEngineEquivalenceSynthetic(t *testing.T) {
 				!reflect.DeepEqual(res.Outputs, ref.Outputs) {
 				t.Errorf("%s: %s disagrees with sequential", name, engine)
 			}
+		}
+	}
+}
+
+// TestDifferentialConformance is the cross-engine differential suite of
+// the asynchronous engine: on every feasible graph family, the same
+// advice-driven election runs on the BSP reference, the sequential
+// engine, and the asynchronous engine under every delay model and five
+// delay seeds each. Outputs, Rounds and Time must match the BSP
+// reference exactly — the α-synchronizer soundness argument of
+// DESIGN.md §7 says the delay adversary controls the schedule and
+// nothing else. (Messages is deliberately excluded for async: it
+// counts delivered messages, which is a property of the schedule.)
+func TestDifferentialConformance(t *testing.T) {
+	for name, g := range equivalenceFamilies() {
+		s := NewSystem()
+		if !s.Feasible(g) {
+			continue
+		}
+		_, enc, err := s.ComputeAdvice(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref, err := s.RunElect(g, enc, Options{}) // BSP
+		if err != nil {
+			t.Fatalf("%s/bsp: %v", name, err)
+		}
+		seqRes, err := s.RunElect(g, enc, Options{Engine: SimSequential})
+		if err != nil {
+			t.Fatalf("%s/seq: %v", name, err)
+		}
+		requireSameElection(t, name+"/seq", ref, seqRes)
+		for mname, model := range DelayModels(g) {
+			for seed := int64(0); seed < 5; seed++ {
+				res, err := s.RunElect(g, enc, Options{Async: true, AsyncSeed: seed, Delay: model})
+				if err != nil {
+					t.Fatalf("%s/async-%s seed %d: %v", name, mname, seed, err)
+				}
+				requireSameElection(t, fmt.Sprintf("%s/async-%s-s%d", name, mname, seed), ref, res)
+			}
+		}
+	}
+}
+
+// TestAsyncConformanceModerateScale drives the class-sharing async
+// engine against BSP at a size where the calendar queue, the level
+// window and the recycling paths do real work: a 4k random graph and a
+// shuffled hypercube, under a uniform, a heavy-tailed and a slow-cut
+// schedule. (The 10k/100k sizes of the acceptance run live in E23,
+// BenchmarkAsyncScale, which performs the same comparison.)
+func TestAsyncConformanceModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale conformance skipped in -short")
+	}
+	for name, g := range map[string]*Graph{
+		"random-n4000":  RandomConnected(4000, 2000, 1),
+		"hypercube-d11": ShufflePorts(Hypercube(11), 1),
+	} {
+		s := NewSystem()
+		ref, err := s.RunMinTime(g, Options{})
+		if err != nil {
+			t.Fatalf("%s/bsp: %v", name, err)
+		}
+		for mname, model := range DelayModels(g) {
+			if mname == "exp" || mname == "fixed" {
+				continue // keep -race runtime sane; covered at small scale
+			}
+			res, err := s.RunMinTime(g, Options{Async: true, AsyncSeed: 2, Delay: model})
+			if err != nil {
+				t.Fatalf("%s/async-%s: %v", name, mname, err)
+			}
+			requireSameElection(t, name+"/async-"+mname, ref, res)
 		}
 	}
 }

@@ -37,6 +37,8 @@ func main() {
 		{"goroutines, bit-serialized wire", election.Options{Concurrent: true, Wire: true}},
 		{"async + synchronizer (seed 1)", election.Options{Async: true, AsyncSeed: 1}},
 		{"async + synchronizer (seed 99)", election.Options{Async: true, AsyncSeed: 99}},
+		{"async, heavy-tailed delays", election.Options{Async: true, AsyncSeed: 1, Delay: &election.ParetoDelay{}}},
+		{"async, FIFO links", election.Options{Async: true, AsyncSeed: 1, Delay: &election.FIFODelay{}}},
 	} {
 		res, err := s.RunMinTime(g, spec.o)
 		if err != nil {

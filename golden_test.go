@@ -1,0 +1,101 @@
+package election
+
+// Golden advice vectors: the canonical advice bit string of one small
+// instance per family, committed under testdata/advice/. The advice is
+// a pure function of the anonymous graph (DESIGN.md §1's canonical
+// order invariant; the A2 sort in internal/advice), so any change to
+// the interning order, the rank machinery, the tries or the encodings
+// that silently shifts rank order fails here loudly instead of
+// misleading elections. Regenerate with
+//
+//	go test -run TestGoldenAdviceVectors -update-golden .
+//
+// after an intentional format change, and say so in the commit.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/advice"
+	"repro/internal/bits"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/advice/*.golden")
+
+// goldenInstances lists the pinned instances. Keep them small: the
+// files are meant to be reviewable diffs, not blobs.
+func goldenInstances() []struct {
+	name string
+	g    *Graph
+} {
+	return []struct {
+		name string
+		g    *Graph
+	}{
+		{"hairy", BuildHairyRing([]int{2, 0, 3, 1}).G},
+		{"necklace", BuildNecklace(4, 3, 3, NecklaceCode(4, 3, 1)).G},
+		{"hk", BuildHk(5, 3).G},
+		{"s0", BuildS0Member(1, 2, 0).G},
+		{"lollipop", Lollipop(4, 3)},
+		{"grid", Grid(4, 3)},
+		{"caterpillar", Caterpillar([]int{2, 0, 1, 3})},
+		{"wheel-tail", WheelWithTail(6, 3)},
+		{"broom", Broom(3, 4)},
+		{"binary-tree", BinaryTree(3)},
+		{"random-n30", RandomConnected(30, 15, 11)},
+	}
+}
+
+func TestGoldenAdviceVectors(t *testing.T) {
+	for _, tc := range goldenInstances() {
+		s := NewSystem()
+		if !s.Feasible(tc.g) {
+			t.Fatalf("%s: golden instance must be feasible", tc.name)
+		}
+		a, enc, err := s.ComputeAdvice(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		path := filepath.Join("testdata", "advice", tc.name+".golden")
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(enc.String()+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to generate)", tc.name, err)
+		}
+		goldenStr := strings.TrimSpace(string(raw))
+		if got := enc.String(); got != goldenStr {
+			t.Errorf("%s: advice bits diverge from the golden vector (%d vs %d bits); if intentional, regenerate with -update-golden",
+				tc.name, len(got), len(goldenStr))
+			continue
+		}
+		// Round trip through the committed bytes themselves: the golden
+		// string must decode to the oracle's advice and re-encode to
+		// itself, so the file pins the wire format, not just the length.
+		golden := BitsFromString(goldenStr)
+		dec, err := advice.Decode(golden)
+		if err != nil {
+			t.Fatalf("%s: golden vector does not decode: %v", tc.name, err)
+		}
+		if dec.Phi != a.Phi {
+			t.Errorf("%s: golden φ = %d, oracle φ = %d", tc.name, dec.Phi, a.Phi)
+		}
+		if !bits.Equal(dec.Encode(), golden) {
+			t.Errorf("%s: golden vector does not survive decode/encode", tc.name)
+		}
+		// And the decoded advice must still elect, in exactly φ rounds.
+		res, err := s.RunElect(tc.g, golden, Options{})
+		if err != nil {
+			t.Fatalf("%s: election from golden advice: %v", tc.name, err)
+		}
+		if res.Time != a.Phi {
+			t.Errorf("%s: golden advice elected in %d rounds, want φ = %d", tc.name, res.Time, a.Phi)
+		}
+	}
+}

@@ -40,7 +40,12 @@ type Advice struct {
 	Tree []LabeledTreeEdge // canonical BFS tree, labels in {1..n}, root label 1
 
 	parentOnce sync.Once
-	parent     map[int]LabeledTreeEdge // child label → tree edge to its parent
+	// parent[x] is the tree edge from child label x to its parent;
+	// labels are dense in {1..n} so the index is a slice, not a map —
+	// PathToLeader sits inside every decider's final round, and at
+	// 100k nodes with deep trees (torus) the per-hop map probes were
+	// the single hottest block of the whole election's serial phase.
+	parent []LabeledTreeEdge // indexed by child label; ParentLabel == 0 means absent
 }
 
 // Oracle holds the state shared between advice computation and any
@@ -242,9 +247,11 @@ func (a *Advice) PathToLeader(x int) ([]int, error) {
 		return []int{}, nil
 	}
 	a.parentOnce.Do(func() {
-		parent := make(map[int]LabeledTreeEdge, len(a.Tree))
+		parent := make([]LabeledTreeEdge, len(a.Tree)+2)
 		for _, e := range a.Tree {
-			parent[e.ChildLabel] = e
+			if e.ChildLabel > 0 && e.ChildLabel < len(parent) {
+				parent[e.ChildLabel] = e
+			}
 		}
 		a.parent = parent
 	})
@@ -252,10 +259,10 @@ func (a *Advice) PathToLeader(x int) ([]int, error) {
 	var ports []int
 	cur := x
 	for cur != 1 {
-		e, ok := parent[cur]
-		if !ok {
+		if cur < 0 || cur >= len(parent) || parent[cur].ParentLabel == 0 {
 			return nil, fmt.Errorf("advice: label %d not in tree", x)
 		}
+		e := parent[cur]
 		ports = append(ports, e.PortChild, e.PortParent)
 		cur = e.ParentLabel
 		if len(ports) > 2*len(a.Tree)+2 {

@@ -322,8 +322,20 @@ func TestDPlusPhiAdviceCodec(t *testing.T) {
 	}
 }
 
-// Property: Generic(x) elects the same leader for every x >= φ.
-func TestGenericLeaderIndependentOfX(t *testing.T) {
+// Property: Generic(x) performs a correct election within the Lemma
+// 4.1 bound D + x + 1 for every x >= φ, and its outcome is independent
+// of the interning-table state it runs against (a fresh table and one
+// pre-warmed by the φ computation must elect identically).
+//
+// Note this is deliberately weaker than "the same leader for every x":
+// Generic(x) elects the node whose depth-x view is canonically minimal,
+// and the canonical minimum at depth x and at depth x+1 can be
+// different nodes (the order compares neighbors' child views, so it is
+// not prefix-monotone in depth; RandomConnected(10, 5,
+// 8311066708781871972) with x = φ and x = φ+1 is a concrete
+// counterexample). The paper promises correctness and the time bound,
+// not leader stability across x.
+func TestGenericElectionTableIndependent(t *testing.T) {
 	f := func(seed int64, dx uint8) bool {
 		g := graph.RandomConnected(10, 5, seed)
 		tab := view.NewTable()
@@ -332,14 +344,16 @@ func TestGenericLeaderIndependentOfX(t *testing.T) {
 			return true // skip infeasible
 		}
 		x := phi + int(dx%4)
-		res1, err1 := sim.RunSequential(tab, g, NewGenericFactory(tab, phi), sim.DefaultMaxRounds(g))
-		res2, err2 := sim.RunSequential(tab, g, NewGenericFactory(tab, x), sim.DefaultMaxRounds(g)+int(dx))
+		fresh := view.NewTable()
+		res1, err1 := sim.RunSequential(tab, g, NewGenericFactory(tab, x), sim.DefaultMaxRounds(g)+int(dx))
+		res2, err2 := sim.RunSequential(fresh, g, NewGenericFactory(fresh, x), sim.DefaultMaxRounds(g)+int(dx))
 		if err1 != nil || err2 != nil {
 			return false
 		}
 		l1, e1 := sim.Verify(g, res1.Outputs)
 		l2, e2 := sim.Verify(g, res2.Outputs)
-		return e1 == nil && e2 == nil && l1 == l2
+		return e1 == nil && e2 == nil && l1 == l2 &&
+			res1.Time <= g.Diameter()+x+1 && res1.Time == res2.Time
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)

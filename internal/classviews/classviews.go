@@ -96,6 +96,20 @@ func (m *Materializer) Views() []*view.View { return m.views[:m.k] }
 // depth.
 func (m *Materializer) Representative(c int) int { return m.ref.Representative(c) }
 
+// CopyClass fills dst (grown as needed) with the per-node classes at
+// the current depth and returns it — Class with a caller-owned buffer,
+// for engines that must retain a window of depths while the
+// materializer advances (the asynchronous engine keeps one level per
+// logical round still in flight).
+func (m *Materializer) CopyClass(dst []int32) []int32 {
+	if cap(dst) < len(m.class) {
+		dst = make([]int32, len(m.class))
+	}
+	dst = dst[:len(m.class)]
+	copy(dst, m.class)
+	return dst
+}
+
 // Step advances one depth: refine the partition (unless already
 // stable), then intern one representative view per class, with the
 // representatives' children read through the previous depth's classes.

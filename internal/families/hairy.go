@@ -57,6 +57,30 @@ func BuildHairyRing(sizes []int) *HairyRing {
 	return &HairyRing{G: b.MustFinalize(), Sizes: append([]int(nil), sizes...), Ring: ring}
 }
 
+// ArcMembers returns the node-membership mask of the arc of length
+// ring nodes starting at ring position i — the ring nodes i, i+1, ...,
+// i+length-1 together with their star leaves. Exactly two ring edges
+// cross between the arc and the rest of the graph: the edge the cut at
+// position i removes (Figure 9b, CutAt(i)) and its counterpart at
+// position i+length. The mask is what an adversarial delay model
+// starves to hold the arc logical rounds behind the rest of the graph
+// (sim.SlowCutDelay).
+func (h *HairyRing) ArcMembers(i, length int) []bool {
+	n := len(h.Sizes)
+	if length < 1 || length >= n {
+		panic("families: arc length must be in [1, ring size)")
+	}
+	in := make([]bool, h.G.N())
+	for j := 0; j < length; j++ {
+		ring := h.Ring[(i+j)%n]
+		in[ring] = true
+		for p := 2; p < h.G.Deg(ring); p++ {
+			in[h.G.At(ring, p).To] = true
+		}
+	}
+	return in
+}
+
 // Cut describes the cut of a hairy ring at a ring node w (Figure 9b): the
 // ring edge entering w counterclockwise is removed, turning the ring into
 // a caterpillar path from the first node (w) to the last node.

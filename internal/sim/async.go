@@ -1,176 +1,264 @@
+// The class-sharing asynchronous engine.
+//
+// This file implements the paper's remark that "the synchronous process
+// of the LOCAL model can be simulated in an asynchronous network using
+// time-stamps": every node runs the standard α-synchronizer — it stamps
+// each message with its round number and advances to round r+1 only
+// after collecting the round-r messages of all neighbors — over an
+// event-driven network whose per-message delays are chosen by a
+// pluggable adversary (DelayModel, see delay.go).
+//
+// The engine's load-bearing observation is that the synchronizer makes
+// message *content* a pure function of the stamp: whatever the
+// schedule, a node entering logical round r knows exactly B^r(v)
+// (induction on r — its round-(r-1) frontier was the neighbors'
+// B^{r-1}, which is precisely how B^r(v) is defined), and by the
+// Yamashita–Kameda quotient argument B^r(v) is shared by v's whole
+// view class at depth r. So the engine never moves views through the
+// event queue at all: it drives one classviews.Materializer — the same
+// class-sharing core as RunBSP and the oracle, one part.Refiner step
+// and one interned view per class per logical round — and events carry
+// only timing: (delivery time, sequence, destination, round stamp).
+// The adversary controls the schedule and nothing else, which is why
+// Outputs, Rounds and Time are identical to RunBSP under every delay
+// model and seed (the differential suite in engines_test.go pins
+// this), while VirtualTime and the round skew vary wildly.
+//
+// The synchronizer also bounds the bookkeeping: neighbors' rounds
+// differ by at most one, so a node only ever receives stamps for its
+// current round or the next — two flat arrival counters per node
+// replace the old per-node map[round]inbox — and the window of logical
+// rounds still needed by some undecided node is the global round skew,
+// so materialized levels are recycled as the slowest nodes advance.
+// Events move through a bucketed calendar queue (calendar.go) in the
+// same deterministic (time, sequence) order the old heap used.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
+	"math"
+	"strings"
 
+	"repro/internal/classviews"
 	"repro/internal/graph"
 	"repro/internal/view"
 )
 
-// This file implements the paper's remark that "the synchronous process
-// of the LOCAL model can be simulated in an asynchronous network using
-// time-stamps": an event-driven asynchronous network with adversarial
-// (seeded-random) message delays, on which every node runs the standard
-// α-synchronizer — it stamps each message with its round number and
-// advances to round r+1 only after collecting the round-r messages of
-// all neighbors. The decisions (outputs and logical round numbers) must
-// be — and are, see TestAsyncMatchesSynchronous — identical to the
-// synchronous engines'; only the wall-clock ("virtual time") differs.
-
-// asyncEvent is the delivery of one stamped message.
-type asyncEvent struct {
-	at         float64 // virtual delivery time
-	seq        int     // tie-break for determinism
-	dst        int
-	dstPort    int // port at dst through which the message arrives
-	round      int
-	senderPort int
-	v          *view.View
-}
-
-type eventQueue []*asyncEvent
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*asyncEvent)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
-
-// AsyncResult extends Result with the virtual completion time.
+// AsyncResult extends Result with the schedule-level measurements.
 type AsyncResult struct {
 	Result
-	VirtualTime float64 // time at which the last node decided
+	// VirtualTime is the virtual time at which the last event was
+	// delivered before every node had decided.
+	VirtualTime float64
+	// MaxSkew is the maximum observed spread between the fastest
+	// node's logical round and the slowest undecided node's — the
+	// quantity an adversarial delay model maximizes and a uniform one
+	// keeps near constant.
+	MaxSkew int
 }
 
-// RunAsync executes the protocol on an asynchronous network whose edge
-// delays are drawn uniformly from (0, 1] by a deterministic RNG seeded
-// with seed. Logical rounds are driven by the time-stamp synchronizer.
-func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed int64) (*AsyncResult, error) {
+// asyncLevel is one materialized logical round: the per-node view
+// classes at that depth and one interned view per class.
+type asyncLevel struct {
+	class []int32
+	views []*view.View
+}
+
+// RunAsync executes the protocol on an asynchronous network whose
+// per-message delays are chosen by model (nil selects the uniform
+// (0,1] model) seeded with seed. Logical rounds are driven by the
+// time-stamp synchronizer; decisions and decision rounds are identical
+// to the synchronous engines' under every model.
+func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed int64, model DelayModel) (*AsyncResult, error) {
 	n := g.N()
-	rng := rand.New(rand.NewSource(seed))
-	type nodeState struct {
-		d       Decider
-		round   int // current logical round (knowledge depth)
-		b       *view.View
-		decided bool
-		output  []int
-		decAt   int
-		// inbox[r] collects round-r messages indexed by local port.
-		inbox map[int][]*asyncEvent
-		got   map[int]int
+	if model == nil {
+		model = NewUniformDelay()
 	}
-	states := make([]*nodeState, n)
-	res := &AsyncResult{Result: Result{Outputs: make([][]int, n), Rounds: make([]int, n)}}
-	undecided := n
+	model.Reset(g, seed)
 
-	var q eventQueue
-	var edges []view.Edge
-	seq := 0
-	now := 0.0
-	send := func(v int, st *nodeState) {
-		// Broadcast the node's current view, stamped with its round.
-		// Delays are uniform on (0, 1] exactly as documented:
-		// rng.Float64() is uniform on [0, 1), so 1 - rng.Float64() is
-		// uniform on (0, 1] — no epsilon shifting the support.
-		for p := 0; p < g.Deg(v); p++ {
-			h := g.At(v, p)
-			seq++
-			heap.Push(&q, &asyncEvent{
-				at:         now + 1 - rng.Float64(),
-				seq:        seq,
-				dst:        h.To,
-				dstPort:    h.RemotePort,
-				round:      st.round,
-				senderPort: p,
-				v:          st.b,
-			})
-		}
-	}
-	decide := func(v int, st *nodeState) {
-		if st.decided {
-			return
-		}
-		if out, ok := st.d.Decide(st.round, st.b); ok {
-			st.decided, st.output, st.decAt = true, out, st.round
-			undecided--
-		}
-	}
-
+	deciders := make([]Decider, n)
 	for v := 0; v < n; v++ {
-		st := &nodeState{
-			d:     f(v, g.Deg(v)),
-			b:     tab.Leaf(g.Deg(v)),
-			inbox: make(map[int][]*asyncEvent),
-			got:   make(map[int]int),
-		}
-		states[v] = st
-		decide(v, st)
+		deciders[v] = f(v, g.Deg(v))
 	}
+	res := &AsyncResult{Result: Result{Outputs: make([][]int, n), Rounds: make([]int, n)}}
+
+	cv := classviews.New(tab, g)
+	res.ClassViews += cv.NumClasses()
+	levels := []asyncLevel{{
+		class: cv.CopyClass(nil),
+		views: append([]*view.View(nil), cv.Views()...),
+	}}
+	var classPool [][]int32
+	var viewsPool [][]*view.View
+	freed := 0 // levels below this index have been recycled
+
+	// ensureLevel materializes logical round d (at most one step past
+	// the deepest level yet, by the synchronizer's skew bound).
+	ensureLevel := func(d int) *asyncLevel {
+		for len(levels) <= d {
+			levels = append(levels, asyncLevel{})
+		}
+		if levels[d].class == nil {
+			for cv.Depth() < d {
+				cv.Step()
+				res.ClassViews += cv.NumClasses()
+			}
+			var cls []int32
+			if k := len(classPool); k > 0 {
+				cls, classPool = classPool[k-1], classPool[:k-1]
+			}
+			var vs []*view.View
+			if k := len(viewsPool); k > 0 {
+				vs, viewsPool = viewsPool[k-1], viewsPool[:k-1]
+			}
+			levels[d] = asyncLevel{
+				class: cv.CopyClass(cls),
+				views: append(vs[:0], cv.Views()...),
+			}
+		}
+		return &levels[d]
+	}
+
+	round := make([]int32, n) // current logical round per node
+	cnt0 := make([]int32, n)  // round-stamped arrivals for the current round
+	cnt1 := make([]int32, n)  // ... and for the next round
+	done := make([]bool, n)
+	undecided := n
+	liveAt := []int32{int32(n)} // undecided nodes per logical round
+	minLive := 0                // slowest undecided node's round
+	maxRound := 0               // fastest node's round
+
+	decide := func(v, r int, b *view.View) {
+		if out, ok := deciders[v].Decide(r, b); ok {
+			done[v] = true
+			res.Outputs[v] = out
+			res.Rounds[v] = r
+			undecided--
+			liveAt[r]--
+		}
+	}
+
+	// Round 0: every node knows B^0(v) = its interned leaf.
+	lv0 := &levels[0]
+	for v := 0; v < n; v++ {
+		decide(v, 0, lv0.views[lv0.class[v]])
+	}
+
+	q := newCalQueue(2 * g.M())
+	now := 0.0
+	seq := uint64(0)
+	send := func(v, r int) error {
+		for p := 0; p < g.Deg(v); p++ {
+			d := model.Delay(v, p, r, now)
+			if math.IsInf(d, 1) {
+				continue // adversarial loss
+			}
+			if !(d > 0) || d > MaxDelay {
+				return fmt.Errorf("sim: delay model returned %v for node %d port %d round %d; want (0, %.0g] or Drop", d, v, p, r, MaxDelay)
+			}
+			seq++
+			q.push(calEvent{at: now + d, seq: seq, dst: int32(g.At(v, p).To), round: int32(r)})
+		}
+		return nil
+	}
+
 	if undecided > 0 {
 		for v := 0; v < n; v++ {
-			send(v, states[v])
+			if err := send(v, 0); err != nil {
+				return nil, err
+			}
 		}
 	}
-	for undecided > 0 && q.Len() > 0 {
-		e := heap.Pop(&q).(*asyncEvent)
+
+	diagnose := func() string {
+		lo, hi, sample := -1, 0, make([]string, 0, 4)
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			r := int(round[v])
+			if lo < 0 || r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+			if len(sample) < cap(sample) {
+				sample = append(sample, fmt.Sprintf("node %d@r%d", v, r))
+			}
+		}
+		return fmt.Sprintf("%d undecided nodes at rounds %d..%d (%s), %d pending events",
+			undecided, lo, hi, strings.Join(sample, ", "), q.len())
+	}
+
+events:
+	for undecided > 0 && q.len() > 0 {
+		e := q.pop()
 		now = e.at
-		st := states[e.dst]
-		if st.inbox[e.round] == nil {
-			st.inbox[e.round] = make([]*asyncEvent, g.Deg(e.dst))
+		res.Messages++
+		v := int(e.dst)
+		switch e.round - round[v] {
+		case 0:
+			cnt0[v]++
+		case 1:
+			cnt1[v]++
+		default:
+			// Unreachable under the synchronizer: a sender can be at
+			// most one round ahead of (and never behind a round it has
+			// fully served to) each neighbor.
+			return nil, fmt.Errorf("sim: async stamp %d outside node %d's window at round %d", e.round, v, round[v])
 		}
-		if st.inbox[e.round][e.dstPort] == nil {
-			st.inbox[e.round][e.dstPort] = e
-			st.got[e.round]++
-		}
+		deg := int32(g.Deg(v))
 		// Synchronizer: advance while the full frontier has arrived.
-		for st.got[st.round] == g.Deg(e.dst) {
-			// Check the budget before building the next view, so a
-			// runaway run fails without interning a view it will never
-			// hand to a decider.
-			if st.round+1 > maxRounds {
-				return nil, fmt.Errorf("sim: async node undecided after %d rounds", maxRounds)
+		for cnt0[v] == deg {
+			r := int(round[v]) + 1
+			if r > maxRounds {
+				return nil, fmt.Errorf("sim: async round budget of %d exceeded: %s", maxRounds, diagnose())
 			}
-			msgs := st.inbox[st.round]
-			delete(st.inbox, st.round)
-			delete(st.got, st.round)
-			deg := g.Deg(e.dst)
-			if cap(edges) < deg {
-				edges = make([]view.Edge, deg)
+			round[v] = int32(r)
+			cnt0[v], cnt1[v] = cnt1[v], 0
+			if r > maxRound {
+				maxRound = r
+				if skew := maxRound - minLive; skew > res.MaxSkew {
+					res.MaxSkew = skew
+				}
 			}
-			ed := edges[:deg]
-			for p, m := range msgs {
-				ed[p] = view.Edge{RemotePort: m.senderPort, Child: m.v}
+			if !done[v] {
+				lv := ensureLevel(r)
+				liveAt[r-1]--
+				for len(liveAt) <= r {
+					liveAt = append(liveAt, 0)
+				}
+				liveAt[r]++
+				decide(v, r, lv.views[lv.class[v]])
+				if undecided == 0 {
+					break events
+				}
+				// Recycle the levels every undecided node has passed:
+				// a level is read exactly once per node, on entry.
+				for liveAt[minLive] == 0 {
+					minLive++
+				}
+				for freed < minLive {
+					if levels[freed].class != nil {
+						classPool = append(classPool, levels[freed].class)
+						viewsPool = append(viewsPool, levels[freed].views)
+						levels[freed] = asyncLevel{}
+					}
+					freed++
+				}
 			}
-			st.b = tab.Make(ed)
-			st.round++
-			decide(e.dst, st)
-			if undecided == 0 {
-				break
+			if err := send(v, r); err != nil {
+				return nil, err
 			}
-			send(e.dst, st)
 		}
 	}
 	if undecided > 0 {
-		return nil, fmt.Errorf("sim: async network quiesced with %d undecided nodes", undecided)
+		return nil, fmt.Errorf("sim: async network quiesced: %s", diagnose())
 	}
-	for v, st := range states {
-		res.Outputs[v] = st.output
-		res.Rounds[v] = st.decAt
-		if st.decAt > res.Time {
-			res.Time = st.decAt
+	for _, r := range res.Rounds {
+		if r > res.Time {
+			res.Time = r
 		}
 	}
 	res.VirtualTime = now

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -8,9 +10,17 @@ import (
 	"repro/internal/view"
 )
 
+// delayModelsUnderTest is the canonical registry: every model listed
+// there is automatically covered by the synchronizer-guarantee and
+// determinism tests below.
+func delayModelsUnderTest(g *graph.Graph) map[string]DelayModel {
+	return AllDelayModels(g)
+}
+
 // The synchronizer guarantee: regardless of message delays, every node's
 // logical knowledge at logical round r is exactly B^r(v), so decisions
-// and decision rounds match the synchronous engines exactly.
+// and decision rounds match the synchronous engines exactly — under
+// every delay model.
 func TestAsyncMatchesSynchronous(t *testing.T) {
 	g := graph.Lollipop(5, 4)
 	mkFactory := func() Factory {
@@ -27,29 +37,33 @@ func TestAsyncMatchesSynchronous(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for seed := int64(0); seed < 5; seed++ {
-		tab2 := view.NewTable()
-		asyncRes, err := RunAsync(tab2, g, mkFactory(), 100, seed)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if asyncRes.Time != syncRes.Time {
-			t.Errorf("seed %d: time %d vs %d", seed, asyncRes.Time, syncRes.Time)
-		}
-		for v := range syncRes.Rounds {
-			if asyncRes.Rounds[v] != syncRes.Rounds[v] {
-				t.Errorf("seed %d: node %d decided at %d, sync at %d",
-					seed, v, asyncRes.Rounds[v], syncRes.Rounds[v])
+	for name, model := range delayModelsUnderTest(g) {
+		for seed := int64(0); seed < 5; seed++ {
+			tab2 := view.NewTable()
+			asyncRes, err := RunAsync(tab2, g, mkFactory(), 100, seed, model)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
 			}
-		}
-		if asyncRes.VirtualTime <= 0 {
-			t.Error("virtual time not tracked")
+			if asyncRes.Time != syncRes.Time {
+				t.Errorf("%s seed %d: time %d vs %d", name, seed, asyncRes.Time, syncRes.Time)
+			}
+			for v := range syncRes.Rounds {
+				if asyncRes.Rounds[v] != syncRes.Rounds[v] {
+					t.Errorf("%s seed %d: node %d decided at %d, sync at %d",
+						name, seed, v, asyncRes.Rounds[v], syncRes.Rounds[v])
+				}
+			}
+			if asyncRes.VirtualTime <= 0 {
+				t.Errorf("%s seed %d: virtual time not tracked", name, seed)
+			}
 		}
 	}
 }
 
 // Knowledge fidelity under asynchrony: the views handed to deciders are
-// the same interned values the synchronous engine would deliver.
+// the same interned values the synchronous engine would deliver —
+// pointer-identical, because the engine reads them off the class-sharing
+// materializer.
 func TestAsyncKnowledgeIsBr(t *testing.T) {
 	g := graph.RandomConnected(10, 5, 3)
 	tab := view.NewTable()
@@ -60,7 +74,7 @@ func TestAsyncKnowledgeIsBr(t *testing.T) {
 		deciders[simID] = d
 		return d
 	}
-	if _, err := RunAsync(tab, g, f, 100, 42); err != nil {
+	if _, err := RunAsync(tab, g, f, 100, 42, nil); err != nil {
 		t.Fatal(err)
 	}
 	for v, d := range deciders {
@@ -72,12 +86,42 @@ func TestAsyncKnowledgeIsBr(t *testing.T) {
 	}
 }
 
+// Determinism: the same seed must reproduce the same virtual schedule,
+// and the uniform model's schedule is the historical one — delays drawn
+// as 1 - rng.Float64() in deterministic send order.
+func TestAsyncVirtualTimeDeterministic(t *testing.T) {
+	g := graph.RandomConnected(12, 6, 7)
+	f := func() Factory {
+		return func(simID, deg int) Decider { return &stopAt{round: 2 + deg%2, out: []int{}} }
+	}
+	for name, model := range delayModelsUnderTest(g) {
+		a, err := RunAsync(view.NewTable(), g, f(), 100, 5, model)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := RunAsync(view.NewTable(), g, f(), 100, 5, model)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.VirtualTime != b.VirtualTime || a.Messages != b.Messages || a.MaxSkew != b.MaxSkew {
+			t.Errorf("%s: schedule not deterministic: (%v,%d,%d) vs (%v,%d,%d)",
+				name, a.VirtualTime, a.Messages, a.MaxSkew, b.VirtualTime, b.Messages, b.MaxSkew)
+		}
+	}
+}
+
 func TestAsyncMaxRounds(t *testing.T) {
 	g := graph.Path(3)
 	tab := view.NewTable()
 	f := func(simID, deg int) Decider { return never{} }
-	if _, err := RunAsync(tab, g, f, 5, 1); err == nil {
-		t.Error("expected max-rounds error")
+	_, err := RunAsync(tab, g, f, 5, 1, nil)
+	if err == nil {
+		t.Fatal("expected max-rounds error")
+	}
+	for _, want := range []string{"budget of 5", "undecided nodes at rounds", "pending events"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("budget error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -85,7 +129,7 @@ func TestAsyncImmediateDecision(t *testing.T) {
 	g := graph.Path(4)
 	tab := view.NewTable()
 	f := func(simID, deg int) Decider { return &stopAt{round: 0, out: []int{}} }
-	res, err := RunAsync(tab, g, f, 10, 1)
+	res, err := RunAsync(tab, g, f, 10, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,10 +138,90 @@ func TestAsyncImmediateDecision(t *testing.T) {
 	}
 }
 
+// A severed cut (SlowCutDelay with Slow = Drop) must make the network
+// quiesce, and the error must carry diagnostics: the stuck nodes'
+// rounds and the pending-event count.
+func TestAsyncQuiescenceDiagnostics(t *testing.T) {
+	g := graph.Ring(8)
+	inCut := make([]bool, 8)
+	inCut[0], inCut[1], inCut[2] = true, true, true
+	f := func(simID, deg int) Decider { return &stopAt{round: 6, out: []int{}} }
+	_, err := RunAsync(view.NewTable(), g, f, 100, 1, NewSlowCutDelay(inCut, Drop, 0.1))
+	if err == nil {
+		t.Fatal("expected quiescence error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"quiesced", "undecided nodes at rounds", "node 0@r", "pending events"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("quiescence error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// A delay model returning a non-positive or over-cap finite delay is a
+// contract violation the engine must surface, not mis-schedule.
+type badDelay struct{ d float64 }
+
+func (badDelay) Reset(*graph.Graph, int64)                {}
+func (m badDelay) Delay(v, p, r int, now float64) float64 { return m.d }
+
+func TestAsyncInvalidDelay(t *testing.T) {
+	g := graph.Path(3)
+	f := func(simID, deg int) Decider { return &stopAt{round: 2, out: []int{}} }
+	for _, d := range []float64{0, -1, math.NaN(), math.Inf(-1), 2 * MaxDelay} {
+		if _, err := RunAsync(view.NewTable(), g, f, 10, 1, badDelay{d}); err == nil {
+			t.Errorf("delay %v: expected an error", d)
+		}
+	}
+}
+
+// The slow-cut adversary must actually skew the schedule: the starved
+// arc lags, and the synchronizer bounds the lag by the delay ratio.
+func TestAsyncSlowCutSkews(t *testing.T) {
+	g := graph.Ring(32)
+	inCut := make([]bool, 32)
+	for v := 0; v < 16; v++ {
+		inCut[v] = true
+	}
+	f := func() Factory {
+		return func(simID, deg int) Decider { return &stopAt{round: 12, out: []int{}} }
+	}
+	slow, err := RunAsync(view.NewTable(), g, f(), 100, 1, NewSlowCutDelay(inCut, 50, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unif, err := RunAsync(view.NewTable(), g, f(), 100, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MaxSkew <= unif.MaxSkew {
+		t.Errorf("slow-cut skew %d not above uniform skew %d", slow.MaxSkew, unif.MaxSkew)
+	}
+	if slow.VirtualTime < 4*unif.VirtualTime {
+		t.Errorf("slow-cut virtual time %v not dominated by the starved cut (uniform %v)",
+			slow.VirtualTime, unif.VirtualTime)
+	}
+	if slow.Time != unif.Time {
+		t.Errorf("logical time differs under adversary: %d vs %d", slow.Time, unif.Time)
+	}
+}
+
 // Property: for random graphs and random delay seeds, async and
-// sequential engines agree on every node's decision round.
+// sequential engines agree on every node's decision round, whatever the
+// delay model.
 func TestAsyncAgreementProperty(t *testing.T) {
-	f := func(gseed, dseed int64) bool {
+	models := []func(g *graph.Graph) DelayModel{
+		func(*graph.Graph) DelayModel { return nil },
+		func(*graph.Graph) DelayModel { return &ParetoDelay{} },
+		func(g *graph.Graph) DelayModel {
+			inCut := make([]bool, g.N())
+			for v := 0; v < g.N()/3; v++ {
+				inCut[v] = true
+			}
+			return NewSlowCutDelay(inCut, 9, 0.1)
+		},
+	}
+	f := func(gseed, dseed int64, which uint8) bool {
 		g := graph.RandomConnected(8, 4, gseed)
 		mk := func() Factory {
 			return func(simID, deg int) Decider { return &stopAt{round: 2 + deg%2, out: []int{}} }
@@ -105,7 +229,7 @@ func TestAsyncAgreementProperty(t *testing.T) {
 		t1 := view.NewTable()
 		a, err1 := RunSequential(t1, g, mk(), 50)
 		t2 := view.NewTable()
-		b, err2 := RunAsync(t2, g, mk(), 50, dseed)
+		b, err2 := RunAsync(t2, g, mk(), 50, dseed, models[int(which)%len(models)](g))
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -116,7 +240,7 @@ func TestAsyncAgreementProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

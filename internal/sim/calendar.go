@@ -1,0 +1,170 @@
+// A bucketed calendar queue for the asynchronous engine's event set.
+//
+// The engine pops events in strictly increasing (at, seq) order — the
+// same total order the old container/heap implementation used — but the
+// workload is a classic calendar-queue shape: at any moment there is at
+// most one in-flight message per directed edge, delays are drawn from a
+// narrow band, and pops and pushes interleave at the same virtual-time
+// scale. A ring of time buckets makes both operations O(1) amortized
+// where a binary heap pays O(log m) per event, and the bucket array is
+// reused for the whole run.
+package sim
+
+import "sort"
+
+// calEvent is the delivery of one stamped message. The synchronizer
+// only counts arrivals per (destination, round) — message *content* is
+// implied by the round stamp (see async.go) — so an event is four
+// words; the old engine carried the sender port, the destination port
+// and a view pointer besides.
+type calEvent struct {
+	at    float64
+	seq   uint64 // global send order; tie-break for determinism
+	dst   int32
+	round int32
+}
+
+// calBefore is the queue's total order.
+func calBefore(a, b calEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// calQueue is the bucketed calendar queue. Bucket k of the ring covers
+// the absolute time slice [k·width, (k+1)·width); the ring holds the
+// len(buckets) consecutive slices starting at curBno, and events beyond
+// that horizon wait in overflow. The bucket being drained is kept
+// sorted (it is sorted on entry, and later pushes into it — always at
+// times ≥ now — insert in order past the read position); other resident
+// buckets are unsorted appends.
+type calQueue struct {
+	width    float64
+	buckets  [][]calEvent
+	curBno   int64 // absolute bucket number being drained
+	pos      int   // read position in the current bucket
+	ring     int   // events resident in the ring
+	overflow []calEvent
+}
+
+// calSpan is the virtual-time horizon the ring covers. Delays beyond
+// it (heavy tails, slow-cut latencies) take the overflow path and are
+// re-ingested when the ring drains down to them.
+const calSpan = 4.0
+
+// newCalQueue sizes the ring for the expected in-flight event count
+// (one per directed edge).
+func newCalQueue(expected int) *calQueue {
+	nb := 64
+	for nb < expected && nb < 1<<16 {
+		nb <<= 1
+	}
+	return &calQueue{
+		width:   calSpan / float64(nb),
+		buckets: make([][]calEvent, nb),
+	}
+}
+
+func (q *calQueue) len() int { return q.ring + len(q.overflow) }
+
+// maxBucketQuot bounds the bucket arithmetic: at/width below it
+// converts to int64 exactly and curBno+nb cannot overflow. Events
+// beyond it wait in overflow; rebase doubles width (staying a power of
+// two, so indexing stays exact) until the earliest of them fits.
+const maxBucketQuot = float64(1 << 62)
+
+// bucketOf returns the absolute bucket number of time at, or ok=false
+// when at is beyond the exactly-indexable range.
+func (q *calQueue) bucketOf(at float64) (int64, bool) {
+	quot := at / q.width
+	if quot >= maxBucketQuot {
+		return 0, false
+	}
+	return int64(quot), true
+}
+
+// push inserts an event. e.at must be at least the time of the last
+// event popped (the engine only schedules into the future).
+func (q *calQueue) push(e calEvent) {
+	nb := int64(len(q.buckets))
+	// The horizon test runs on the integer bucket number — a float-
+	// space comparison disagrees with the index once curBno+nb loses
+	// precision as a float64, which would alias a far-future event
+	// into the bucket being drained.
+	bno, ok := q.bucketOf(e.at)
+	if !ok || bno >= q.curBno+nb {
+		q.overflow = append(q.overflow, e)
+		return
+	}
+	if bno < q.curBno {
+		// e.at sits inside the slice being drained (or a float hair
+		// before it); it still sorts after everything already popped.
+		bno = q.curBno
+	}
+	b := &q.buckets[bno&(nb-1)]
+	if bno == q.curBno {
+		// The current bucket is sorted and partially consumed; insert
+		// in order at or past the read position.
+		i := q.pos + sort.Search(len(*b)-q.pos, func(i int) bool {
+			return calBefore(e, (*b)[q.pos+i])
+		})
+		*b = append(*b, calEvent{})
+		copy((*b)[i+1:], (*b)[i:])
+		(*b)[i] = e
+	} else {
+		*b = append(*b, e)
+	}
+	q.ring++
+}
+
+// pop removes and returns the earliest event. The queue must be
+// non-empty.
+func (q *calQueue) pop() calEvent {
+	for {
+		b := &q.buckets[q.curBno&int64(len(q.buckets)-1)]
+		if q.pos < len(*b) {
+			e := (*b)[q.pos]
+			q.pos++
+			q.ring--
+			return e
+		}
+		*b = (*b)[:0]
+		q.pos = 0
+		if q.ring > 0 {
+			// Some later slice of the ring is occupied; walk to it.
+			q.curBno++
+		} else {
+			if len(q.overflow) == 0 {
+				panic("sim: pop of an empty calendar queue")
+			}
+			q.rebase()
+		}
+		if nxt := &q.buckets[q.curBno&int64(len(q.buckets)-1)]; len(*nxt) > 1 {
+			sort.Slice(*nxt, func(i, j int) bool { return calBefore((*nxt)[i], (*nxt)[j]) })
+		}
+	}
+}
+
+// rebase jumps the ring forward to the earliest overflow event and
+// re-ingests every overflow event that now fits under the horizon. The
+// ring is empty here, so doubling the bucket width (to bring an
+// extreme virtual time back into exact indexing range) re-buckets
+// nothing retroactively.
+func (q *calQueue) rebase() {
+	minAt := q.overflow[0].at
+	for _, e := range q.overflow[1:] {
+		if e.at < minAt {
+			minAt = e.at
+		}
+	}
+	for minAt/q.width >= maxBucketQuot {
+		q.width *= 2
+	}
+	q.curBno, _ = q.bucketOf(minAt)
+	pend := q.overflow
+	q.overflow = q.overflow[len(q.overflow):]
+	for _, e := range pend {
+		q.push(e)
+	}
+}

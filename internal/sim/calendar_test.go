@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The calendar queue's contract: pop order is exactly the (at, seq)
+// total order, under interleaved pushes whose times never precede the
+// last popped time — the only push pattern the engine produces.
+func TestCalendarQueueOrdersLikeSort(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := newCalQueue(16)
+		var all []calEvent
+		seq := uint64(0)
+		now := 0.0
+		push := func(d float64) {
+			seq++
+			e := calEvent{at: now + d, seq: seq, dst: int32(seq % 7), round: int32(seq % 5)}
+			q.push(e)
+			all = append(all, e)
+		}
+		for i := 0; i < 50; i++ {
+			push(rng.Float64())
+		}
+		var got []calEvent
+		for i := 0; i < 2000; i++ {
+			if q.len() == 0 {
+				break
+			}
+			e := q.pop()
+			now = e.at
+			got = append(got, e)
+			// Interleave: sometimes schedule new events from "now",
+			// including tiny, huge (overflow path) and tied delays.
+			if rng.Intn(3) == 0 && len(all) < 400 {
+				switch rng.Intn(4) {
+				case 0:
+					push(1e-12)
+				case 1:
+					push(100 * rng.Float64()) // beyond the ring horizon
+				case 2:
+					push(1 + rng.Float64())
+				case 3:
+					push(0.5) // exact ties across pushes
+				}
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("seed %d: queue not drained, %d left", seed, q.len())
+		}
+		want := append([]calEvent(nil), all...)
+		sort.Slice(want, func(i, j int) bool { return calBefore(want[i], want[j]) })
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: popped %d of %d events", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: pop %d = %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Rebase correctness: a queue whose every event is beyond the ring
+// horizon must still drain in order.
+func TestCalendarQueueOverflowOnly(t *testing.T) {
+	q := newCalQueue(4)
+	times := []float64{900, 100, 500, 100.5, 2000, 100.25}
+	for i, at := range times {
+		q.push(calEvent{at: at, seq: uint64(i)})
+	}
+	var got []float64
+	for q.len() > 0 {
+		got = append(got, q.pop().at)
+	}
+	want := append([]float64(nil), times...)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v (order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// Extreme virtual times (legal under MaxDelay-scale models run for
+// many rounds) must stay exactly ordered: beyond the exactly-indexable
+// bucket range events park in overflow and rebase doubles the bucket
+// width until the earliest fits, instead of aliasing far-future events
+// into the bucket being drained.
+func TestCalendarQueueExtremeTimes(t *testing.T) {
+	q := newCalQueue(4)
+	times := []float64{0.5, 9e17, 1.25, 5e17, 2e18, 5e17 + 0.25, 3.0}
+	for i, at := range times {
+		q.push(calEvent{at: at, seq: uint64(i)})
+	}
+	var got []float64
+	for q.len() > 0 {
+		e := q.pop()
+		if len(got) > 0 && e.at < got[len(got)-1] {
+			t.Fatalf("out-of-order pop: %v after %v", e.at, got[len(got)-1])
+		}
+		got = append(got, e.at)
+	}
+	want := append([]float64(nil), times...)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Ties on at must break by push order (seq), matching the old heap.
+func TestCalendarQueueTieBreak(t *testing.T) {
+	q := newCalQueue(4)
+	for i := 0; i < 10; i++ {
+		q.push(calEvent{at: 1.0, seq: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		if e := q.pop(); e.seq != uint64(i) {
+			t.Fatalf("tie pop %d has seq %d", i, e.seq)
+		}
+	}
+}
+
+func BenchmarkCalendarQueue(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const inflight = 4096
+	q := newCalQueue(inflight)
+	now := 0.0
+	seq := uint64(0)
+	for i := 0; i < inflight; i++ {
+		seq++
+		q.push(calEvent{at: rng.Float64(), seq: seq})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		now = e.at
+		seq++
+		q.push(calEvent{at: now + 1 - rng.Float64(), seq: seq})
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Every model must honor the DelayModel contract on its own: positive
+// finite delays (or Drop), deterministic under a fixed seed.
+func TestDelayModelsContract(t *testing.T) {
+	g := graph.RandomConnected(20, 10, 4)
+	for name, model := range delayModelsUnderTest(g) {
+		draw := func() []float64 {
+			model.Reset(g, 7)
+			var ds []float64
+			now := 0.0
+			for v := 0; v < g.N(); v++ {
+				for p := 0; p < g.Deg(v); p++ {
+					d := model.Delay(v, p, 0, now)
+					if math.IsInf(d, 1) {
+						t.Fatalf("%s: dropped a message unprovoked", name)
+					}
+					if !(d > 0) || d > MaxDelay {
+						t.Fatalf("%s: delay %v outside (0, MaxDelay]", name, d)
+					}
+					ds = append(ds, d)
+					now += d / 16
+				}
+			}
+			return ds
+		}
+		a, b := draw(), draw()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic under a fixed seed", name)
+			}
+		}
+	}
+}
+
+// The uniform model's support is (0, 1]: 1 - Float64() never returns 0
+// and can return exactly 1.
+func TestUniformDelaySupport(t *testing.T) {
+	g := graph.Path(3)
+	m := NewUniformDelay()
+	m.Reset(g, 1)
+	for i := 0; i < 100000; i++ {
+		d := m.Delay(0, 0, 0, 0)
+		if d <= 0 || d > 1 {
+			t.Fatalf("uniform delay %v outside (0, 1]", d)
+		}
+	}
+}
+
+// FixedEdgeDelay must give the same edge the same latency in every
+// round — that is what makes its skew persistent.
+func TestFixedEdgeDelayIsFrozen(t *testing.T) {
+	g := graph.RandomConnected(12, 6, 2)
+	m := &FixedEdgeDelay{}
+	m.Reset(g, 3)
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			d0 := m.Delay(v, p, 0, 0)
+			for r := 1; r < 5; r++ {
+				if d := m.Delay(v, p, r, float64(r)); d != d0 {
+					t.Fatalf("edge (%d,%d) delay changed across rounds: %v vs %v", v, p, d, d0)
+				}
+			}
+		}
+	}
+}
+
+// FIFODelay must deliver each link's messages in send order: arrival
+// times per directed edge are strictly increasing even when the base
+// model draws a delay that would overtake.
+func TestFIFODelayOrdersLinks(t *testing.T) {
+	g := graph.Path(4)
+	m := &FIFODelay{}
+	m.Reset(g, 9)
+	rng := rand.New(rand.NewSource(4))
+	last := map[[2]int]float64{}
+	now := 0.0
+	for step := 0; step < 2000; step++ {
+		v := rng.Intn(g.N())
+		p := rng.Intn(g.Deg(v))
+		at := now + m.Delay(v, p, 0, now)
+		if prev, ok := last[[2]int{v, p}]; ok && at <= prev {
+			t.Fatalf("link (%d,%d) delivered out of order: %v after %v", v, p, at, prev)
+		}
+		last[[2]int{v, p}] = at
+		now += rng.Float64() / 4
+	}
+}
+
+// SlowCutDelay must charge Slow exactly on the crossing edges, in both
+// directions, and Fast everywhere else.
+func TestSlowCutDelayTargetsCut(t *testing.T) {
+	g := graph.Ring(10)
+	inCut := make([]bool, 10)
+	for v := 0; v < 5; v++ {
+		inCut[v] = true
+	}
+	m := NewSlowCutDelay(inCut, 42, 0.5)
+	m.Reset(g, 0)
+	slowEdges := 0
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			want := 0.5
+			if inCut[v] != inCut[g.At(v, p).To] {
+				want = 42.0
+				slowEdges++
+			}
+			if d := m.Delay(v, p, 0, 0); d != want {
+				t.Fatalf("edge (%d,%d): delay %v, want %v", v, p, d, want)
+			}
+		}
+	}
+	if slowEdges != 4 {
+		t.Fatalf("ring cut should cross 4 directed edges, got %d", slowEdges)
+	}
+}

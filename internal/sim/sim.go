@@ -23,6 +23,13 @@
 // decodes it on arrival, demonstrating that only B^i(v) information ever
 // crosses an edge; it is exponential in the round number and meant for
 // small-depth fidelity tests.
+//
+// A fourth engine, RunAsync (async.go), drops the synchrony assumption
+// itself: nodes run the α-synchronizer over an event-driven network
+// whose per-message delays are chosen by an adversarial DelayModel
+// (delay.go). It shares the class-sharing materializer with RunBSP and
+// must produce identical Outputs, Rounds and Time under every delay
+// model; only the virtual schedule differs.
 package sim
 
 import (
@@ -54,14 +61,19 @@ type Factory func(simID, deg int) Decider
 
 // Result reports the outcome of a run.
 type Result struct {
-	Outputs  [][]int // per node: the port sequence it output
-	Rounds   []int   // per node: the round in which it decided
-	Time     int     // max over Rounds — the paper's time measure
-	Messages int     // total messages exchanged (2·m per round run)
-	WireBits int     // total bits on the wire (wire mode only)
+	Outputs [][]int // per node: the port sequence it output
+	Rounds  []int   // per node: the round in which it decided
+	Time    int     // max over Rounds — the paper's time measure
+	// Messages counts messages exchanged: 2·m per round on the
+	// synchronous engines; on the asynchronous engine it counts
+	// *delivered* messages, a property of the schedule (regions that
+	// race ahead of the last decider keep exchanging), not of the
+	// algorithm — so it is excluded from cross-engine equality.
+	Messages int
+	WireBits int // total bits on the wire (wire mode only)
 	// ClassViews counts the representative views interned across all
-	// rounds — the class-sharing engine's whole interning volume, at
-	// most (Time+1)·n but typically far less (RunBSP only).
+	// rounds — the class-sharing engines' whole interning volume, at
+	// most (Time+1)·n but typically far less (RunBSP and RunAsync).
 	ClassViews int
 }
 
