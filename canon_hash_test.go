@@ -1,0 +1,83 @@
+package election
+
+// Property tests for the canonical graph hash (internal/canon), the
+// content address of the advice service's persistent cache. They reuse
+// the metamorphic machinery: the hash must be exactly invariant under
+// node relabelings (isomorphic graphs share a cache entry), must
+// separate the feasible families from each other (no false sharing),
+// and must move when the anonymous structure itself moves (a port
+// permutation — the metamorphic suite's negative control). The cache
+// contract that makes warm hits safe is pinned end to end: equal hash
+// across a relabeling ⟹ bit-identical advice.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/canon"
+	"repro/internal/graph"
+)
+
+func TestCanonicalHashRelabelInvariant(t *testing.T) {
+	for name, g := range metamorphicFamilies() {
+		want := canon.Hash(g)
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g2 := graph.RelabelNodes(g, rng.Perm(g.N()))
+			if got := canon.Hash(g2); got != want {
+				t.Errorf("%s: hash changed under relabeling (seed %d): %s != %s",
+					name, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestCanonicalHashSeparatesFamilies(t *testing.T) {
+	seen := map[canon.Sum]string{}
+	for name, g := range metamorphicFamilies() {
+		h := canon.Hash(g)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("%s and %s share a canonical hash", name, prev)
+		}
+		seen[h] = name
+	}
+	// Same family, different size must separate too.
+	if canon.Hash(Grid(4, 3)) == canon.Hash(Grid(4, 4)) {
+		t.Error("grids of different sizes share a canonical hash")
+	}
+}
+
+// A per-node port permutation changes the anonymous structure (views
+// encode port numbers), so unlike a relabeling it must change the
+// hash: the canonical torus is infeasible, its port-shuffled copy is
+// feasible, and the hash sees the difference.
+func TestCanonicalHashPortPermutationNegativeControl(t *testing.T) {
+	g := Torus(3, 3)
+	shuffled := ShufflePorts(g, 7)
+	if canon.Hash(g) == canon.Hash(shuffled) {
+		t.Error("port permutation left the canonical hash unchanged")
+	}
+}
+
+// Equal hash across a relabeling must mean bit-identical advice — the
+// exact property that makes the service's warm cache hits safe.
+func TestCanonicalHashImpliesSharedAdvice(t *testing.T) {
+	g := metamorphicFamilies()["hairy"]
+	rng := rand.New(rand.NewSource(42))
+	g2 := graph.RelabelNodes(g, rng.Perm(g.N()))
+	if canon.Hash(g) != canon.Hash(g2) {
+		t.Fatal("relabeled graph hashes differently")
+	}
+	_, enc1, err := NewSystem().ComputeAdvice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, enc2, err := NewSystem().ComputeAdvice(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(enc1, enc2) {
+		t.Error("hash-equal graphs produced different advice bits")
+	}
+}

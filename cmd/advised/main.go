@@ -1,0 +1,102 @@
+// Command advised serves leader-election advice over HTTP: POST a
+// port-labeled graph to /v1/advice (JSON) or /v1/advice.bin (compact
+// binary) and get back φ, the O(n log n)-bit advice string and,
+// optionally, an election transcript. Computed advice persists in a
+// crash-safe page-backed cache, so isomorphic graphs — and restarts —
+// are served from disk instead of re-running the oracle.
+//
+// Usage:
+//
+//	advised -listen :8344 -cache /var/lib/advised
+//
+// The process drains in-flight requests on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8344", "address to listen on")
+	cacheDir := flag.String("cache", "", "advice cache directory (empty = memory only)")
+	computeTimeout := flag.Duration("compute-timeout", 2*time.Minute, "per-request oracle budget")
+	queue := flag.Int("queue", 4, "max concurrent oracle computations before shedding with 429")
+	breakerN := flag.Int("breaker-failures", 5, "consecutive oracle failures that open the circuit breaker")
+	breakerCool := flag.Duration("breaker-cooldown", 10*time.Second, "how long the breaker stays open")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	if err := run(*listen, *cacheDir, *computeTimeout, *queue, *breakerN, *breakerCool, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "advised:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, cacheDir string, computeTimeout time.Duration, queue, breakerN int, breakerCool, drain time.Duration) error {
+	logger := log.New(os.Stderr, "advised: ", log.LstdFlags)
+
+	var st *store.Store
+	if cacheDir != "" {
+		var rep store.RecoveryReport
+		var err error
+		st, rep, err = store.Open(cacheDir, nil)
+		if err != nil {
+			return err
+		}
+		logger.Printf("cache %s: %d entries recovered, %d temp and %d corrupt discarded",
+			cacheDir, rep.Entries, rep.DiscardedTemp, rep.DiscardedCorrupt)
+	}
+
+	srv := serve.New(serve.Config{
+		Store:            st,
+		ComputeTimeout:   computeTimeout,
+		QueueLimit:       queue,
+		BreakerThreshold: breakerN,
+		BreakerCooldown:  breakerCool,
+		Logf:             logger.Printf,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", listen)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case sig := <-sigCh:
+		logger.Printf("%s: draining for up to %s", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	srv.Close()
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	logger.Printf("stopped")
+	return nil
+}

@@ -45,6 +45,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +71,7 @@ func main() {
 		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
 		async      = flag.Bool("async", false, "use the asynchronous event-driven engine (time-stamp synchronizer)")
 		delay      = flag.String("delay", "uniform", "async delay model: uniform, exp, pareto, fixed, fifo, slowcut")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock budget (0 = none); engines checkpoint per round")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -104,12 +106,18 @@ func main() {
 				}
 			}()
 		}
-		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *seed, *concurrent, *wire, *async)
+		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *seed, *concurrent, *wire, *async, *timeout)
 	}()
 	os.Exit(code)
 }
 
-func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, seed int64, concurrent, wire, async bool) int {
+func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, seed int64, concurrent, wire, async bool, timeout time.Duration) int {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
 	var g *election.Graph
 	var err error
@@ -148,7 +156,11 @@ func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, s
 		return 1
 	}
 	start := time.Now()
-	phi, feasible := s.ElectionIndex(g)
+	phi, feasible, err := s.ElectionIndexCtx(ctx, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "electsim: timed out computing the election index:", err)
+		return 1
+	}
 	indexElapsed := time.Since(start)
 	// The diameter is an all-pairs BFS; at the 100k-node scale the index
 	// path targets, it would dwarf the measured computation, so it is
@@ -160,7 +172,11 @@ func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, s
 	fmt.Printf(" engine=%s (%v)\n", engine, indexElapsed)
 	if algo == "index" {
 		start = time.Now()
-		classes, depth := s.StablePartition(g)
+		classes, depth, err := s.StablePartitionCtx(ctx, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "electsim: timed out computing the stable partition:", err)
+			return 1
+		}
 		k := 0
 		for _, c := range classes {
 			if c+1 > k {
@@ -179,7 +195,7 @@ func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, s
 		return 2
 	}
 
-	opts := election.Options{Engine: simEngine, Workers: workers, Concurrent: concurrent, Wire: wire}
+	opts := election.Options{Engine: simEngine, Workers: workers, Concurrent: concurrent, Wire: wire, Context: ctx}
 	if async {
 		model, ok := election.DelayModels(g)[delay]
 		if !ok {

@@ -25,6 +25,7 @@
 package election
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -129,6 +130,27 @@ func (s *System) ElectionIndex(g *Graph) (phi int, feasible bool) {
 	return part.ElectionIndex(g)
 }
 
+// ElectionIndexCtx is ElectionIndex with a cancellation checkpoint per
+// refinement depth (EnginePart only; the legacy view engine is a
+// cross-checking fixture and runs uninterrupted).
+func (s *System) ElectionIndexCtx(ctx context.Context, g *Graph) (phi int, feasible bool, err error) {
+	if s.engine == EngineView {
+		phi, feasible = view.ElectionIndex(s.table(), g)
+		return phi, feasible, nil
+	}
+	return part.ElectionIndexCtx(ctx, g)
+}
+
+// StablePartitionCtx is StablePartition with a cancellation checkpoint
+// per refinement depth (EnginePart only).
+func (s *System) StablePartitionCtx(ctx context.Context, g *Graph) (classes []int, depth int, err error) {
+	if s.engine == EngineView {
+		classes, depth = view.StablePartition(s.table(), g)
+		return classes, depth, nil
+	}
+	return part.StablePartitionCtx(ctx, g)
+}
+
 // Feasible reports whether leader election is at all possible in g.
 func (s *System) Feasible(g *Graph) bool {
 	if s.engine == EngineView {
@@ -140,8 +162,16 @@ func (s *System) Feasible(g *Graph) bool {
 // ComputeAdvice runs the oracle of Theorem 3.1 and returns the advice
 // both decoded and encoded; the encoded length is O(n log n) bits.
 func (s *System) ComputeAdvice(g *Graph) (*Advice, Bits, error) {
+	return s.ComputeAdviceCtx(context.Background(), g)
+}
+
+// ComputeAdviceCtx is ComputeAdvice under a context: the oracle checks
+// for cancellation at every materialization depth, every trie level and
+// before the final label sweep, so a per-request timeout (the advice
+// service's, internal/serve) actually stops oracle work.
+func (s *System) ComputeAdviceCtx(ctx context.Context, g *Graph) (*Advice, Bits, error) {
 	o := advice.NewOracle(s.table())
-	a, err := o.ComputeAdvice(g)
+	a, err := o.ComputeAdviceCtx(ctx, g)
 	if err != nil {
 		return nil, Bits{}, err
 	}
@@ -177,6 +207,15 @@ type Options struct {
 	AsyncSeed  int64      // message-delay seed for Async runs
 	Delay      DelayModel // Async delay adversary; nil = uniform (0,1]
 	MaxRounds  int        // 0 means a default proportional to the graph size
+
+	// Context, when non-nil, bounds the run: the BSP engine checks it
+	// at every round barrier and the asynchronous engine per logical
+	// round (and periodically between events), so a deadline or cancel
+	// aborts a runaway simulation cleanly instead of only erroring at
+	// the MaxRounds budget. Nil means context.Background(). The
+	// sequential and concurrent reference engines ignore it — they are
+	// pinning fixtures, not serving paths.
+	Context context.Context
 }
 
 // DelayModel is the asynchronous engine's adversary: it assigns a
@@ -215,6 +254,13 @@ var (
 // single registry the differential suites and benchmarks iterate.
 func DelayModels(g *Graph) map[string]DelayModel { return sim.AllDelayModels(g) }
 
+// StuckError is the asynchronous engine's typed diagnosis of a run that
+// could not complete: the round budget tripped or the network quiesced
+// with nodes undecided. It carries the stuck nodes' rounds and the
+// pending-event count, so services and tests can branch on the failure
+// shape instead of parsing a message (errors.As-able).
+type StuckError = sim.StuckError
+
 // Result reports an election outcome.
 type Result struct {
 	Leader     int     // sim id of the elected node
@@ -238,13 +284,17 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 	if maxRounds == 0 {
 		maxRounds = sim.DefaultMaxRounds(g)
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res *sim.Result
 	var err error
 	virtualTime, maxSkew := 0.0, 0
 	switch {
 	case o.Async:
 		var ar *sim.AsyncResult
-		ar, err = sim.RunAsync(s.table(), g, f, maxRounds, o.AsyncSeed, o.Delay)
+		ar, err = sim.RunAsyncCtx(ctx, s.table(), g, f, maxRounds, o.AsyncSeed, o.Delay)
 		if ar != nil {
 			res = &ar.Result
 			virtualTime, maxSkew = ar.VirtualTime, ar.MaxSkew
@@ -254,7 +304,7 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 	case o.Engine == SimSequential:
 		res, err = sim.RunSequential(s.table(), g, f, maxRounds)
 	default:
-		res, err = sim.RunBSP(s.table(), g, f, maxRounds, o.Workers)
+		res, err = sim.RunBSPCtx(ctx, s.table(), g, f, maxRounds, o.Workers)
 	}
 	if err != nil {
 		return nil, err
@@ -280,7 +330,11 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 // pinned by RunElect's tests), but the n deciders don't pay for a
 // decode of their own.
 func (s *System) RunMinTime(g *Graph, o Options) (*Result, error) {
-	a, enc, err := s.ComputeAdvice(g)
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a, enc, err := s.ComputeAdviceCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}

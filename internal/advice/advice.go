@@ -8,6 +8,7 @@
 package advice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -103,6 +104,17 @@ type oracleLevel struct {
 // output is a function of the candidate *set* (every split is decided
 // by canonically distinguished elements, not by input order).
 func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
+	return o.ComputeAdviceCtx(context.Background(), g)
+}
+
+// ComputeAdviceCtx is ComputeAdvice under a context: every phase that
+// scales with the graph — the per-depth materialization loop, each E2
+// level's trie build, and the final label sweep — begins with a
+// cancellation checkpoint, so a per-request timeout actually stops
+// oracle work instead of merely abandoning its result. On cancellation
+// the returned error wraps ctx.Err() (errors.Is-able against
+// context.Canceled / context.DeadlineExceeded).
+func (o *Oracle) ComputeAdviceCtx(ctx context.Context, g *graph.Graph) (*Advice, error) {
 	n := g.N()
 	if n < 3 {
 		return nil, fmt.Errorf("advice: leader election on %d node(s) is degenerate; model requires n >= 3", n)
@@ -114,6 +126,9 @@ func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
 	count := mat.NumClasses()
 	prev := make([]int32, n)
 	for count < n {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("advice: materialization canceled at depth %d: %w", mat.Depth(), err)
+		}
 		copy(prev, mat.Class())
 		mat.Step()
 		k := mat.NumClasses()
@@ -147,6 +162,9 @@ func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
 	// built in parallel.
 	var e2 trie.E2
 	for i := 2; i <= phi; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("advice: trie build canceled at depth %d: %w", i, err)
+		}
 		cur, par := levels[i].views, levels[i].parent
 		kPrev := len(levels[i-1].views)
 		// Bucket the depth-i classes by parent class, in parent order.
@@ -188,6 +206,9 @@ func (o *Oracle) ComputeAdvice(g *graph.Graph) (*Advice, error) {
 	// the worker pool; the validity checks run afterwards in node order,
 	// so the diagnostics match the sequential oracle's.
 	finalViews, cls := levels[phi].views, mat.Class()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("advice: label sweep canceled: %w", err)
+	}
 	labelOf := make([]int, n)
 	parallelDo(n, sweepChunk(n), func(lo, hi int) {
 		for v := lo; v < hi; v++ {

@@ -1,0 +1,81 @@
+package canon
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func families() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ring":      graph.Ring(9),
+		"lollipop":  graph.Lollipop(4, 3),
+		"grid":      graph.Grid(4, 3),
+		"hypercube": graph.ShufflePorts(graph.Hypercube(3), 5),
+		"random":    graph.RandomConnected(30, 15, 11),
+		"torus":     graph.Torus(3, 4),
+		"broom":     graph.Broom(3, 4),
+	}
+}
+
+func TestHashRelabelInvariant(t *testing.T) {
+	for name, g := range families() {
+		want := Hash(g)
+		for seed := int64(1); seed <= 3; seed++ {
+			perm := rand.New(rand.NewSource(seed)).Perm(g.N())
+			if got := Hash(graph.RelabelNodes(g, perm)); got != want {
+				t.Errorf("%s: hash not invariant under relabeling (seed %d)", name, seed)
+			}
+		}
+	}
+}
+
+func TestHashSeparatesFamilies(t *testing.T) {
+	seen := map[Sum]string{}
+	for name, g := range families() {
+		s := Hash(g)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("families %s and %s collide", prev, name)
+		}
+		seen[s] = name
+	}
+	// Sizes within one family must separate too.
+	if Hash(graph.Ring(9)) == Hash(graph.Ring(10)) {
+		t.Error("ring sizes collide")
+	}
+	// A port permutation changes the anonymous structure: generically a
+	// different address (pinned on an instance where it is).
+	g := graph.Grid(4, 3)
+	if Hash(g) == Hash(graph.ShufflePorts(g, 1)) {
+		t.Error("port shuffle unexpectedly preserved the hash")
+	}
+}
+
+func TestHashCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A path refines for Θ(n) depths, so the per-depth checkpoint must
+	// fire before completion.
+	if _, err := HashCtx(ctx, graph.Path(2000)); err == nil {
+		t.Fatal("HashCtx ignored a canceled context")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	if _, err := HashCtx(ctx2, graph.Path(2000)); err == nil {
+		t.Fatal("HashCtx ignored an expired deadline")
+	}
+}
+
+func TestSumString(t *testing.T) {
+	s := Hash(graph.Ring(5))
+	back, err := ParseSum(s.String())
+	if err != nil || back != s {
+		t.Fatalf("ParseSum round trip failed: %v", err)
+	}
+	if _, err := ParseSum("zz"); err == nil {
+		t.Fatal("ParseSum accepted garbage")
+	}
+}

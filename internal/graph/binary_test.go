@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"ring":     Ring(7),
+		"clique":   Clique(5),
+		"grid":     Grid(4, 3),
+		"lollipop": Lollipop(4, 3),
+		"random":   RandomConnected(40, 20, 3),
+		"single":   NewBuilder(1).MustFinalize(),
+	} {
+		enc, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h, err := UnmarshalBinary(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if g.Text() != h.Text() {
+			t.Errorf("%s: binary round trip changed the graph", name)
+		}
+		enc2, _ := h.MarshalBinary()
+		if string(enc) != string(enc2) {
+			t.Errorf("%s: re-encode differs", name)
+		}
+	}
+}
+
+func TestBinaryRejects(t *testing.T) {
+	g := Ring(5)
+	enc, _ := g.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   append([]byte("XXXX"), enc[4:]...),
+		"truncated":   enc[:len(enc)-3],
+		"trailing":    append(append([]byte(nil), enc...), 0),
+		"zero nodes":  {'A', 'P', 'G', '1', 0, 0},
+		"huge edges":  {'A', 'P', 'G', '1', 3, 200},
+		"huge varint": {'A', 'P', 'G', '1', 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: decoder accepted malformed input", name)
+		}
+	}
+}

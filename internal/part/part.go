@@ -21,6 +21,8 @@
 package part
 
 import (
+	"context"
+
 	"repro/internal/graph"
 )
 
@@ -314,19 +316,30 @@ func (r *Refiner) splitBy(lo, hi, j int, byClass bool) int {
 // is non-decreasing, the first depth with n classes is φ, and the first
 // repeat means the partition is stable forever.
 func ElectionIndex(g *graph.Graph) (phi int, feasible bool) {
+	phi, feasible, _ = ElectionIndexCtx(context.Background(), g)
+	return phi, feasible
+}
+
+// ElectionIndexCtx is ElectionIndex with a cancellation checkpoint per
+// refinement depth, so a per-request timeout bounds the Θ(n)-depth
+// worst cases (paths, long rings) instead of running them to the end.
+func ElectionIndexCtx(ctx context.Context, g *graph.Graph) (phi int, feasible bool, err error) {
 	n := g.N()
 	if n == 1 {
-		return 0, true
+		return 0, true, nil
 	}
 	r := NewRefiner(g)
 	count := r.k
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
 		r.Step()
 		if r.k == n {
-			return r.depth, true
+			return r.depth, true, nil
 		}
 		if r.k == count {
-			return 0, false
+			return 0, false, nil
 		}
 		count = r.k
 	}
@@ -353,18 +366,28 @@ func Classes(g *graph.Graph, depth int) []int {
 // per-node classes and the depth at which stability was reached —
 // bit-identical to view.StablePartition.
 func StablePartition(g *graph.Graph) (classes []int, depth int) {
+	classes, depth, _ = StablePartitionCtx(context.Background(), g)
+	return classes, depth
+}
+
+// StablePartitionCtx is StablePartition with a cancellation checkpoint
+// per refinement depth.
+func StablePartitionCtx(ctx context.Context, g *graph.Graph) (classes []int, depth int, err error) {
 	r := NewRefiner(g)
 	count := r.k
 	prev := make([]int32, r.n)
 	copy(prev, r.class)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		r.Step()
 		if r.k == count {
 			out := make([]int, r.n)
 			for v := range out {
 				out[v] = int(prev[v])
 			}
-			return out, r.depth - 1
+			return out, r.depth - 1, nil
 		}
 		count = r.k
 		copy(prev, r.class)

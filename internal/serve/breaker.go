@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker trips after a run of consecutive oracle failures so that a
+// wedged oracle (or a pathological workload) fails fast with 503 +
+// Retry-After instead of stacking doomed computations behind the work
+// queue. After the cooldown one probe request is let through
+// (half-open); its outcome decides between closing and re-opening.
+//
+// Infeasible graphs and client-side cancellations are NOT failures —
+// only errors that suggest the next computation would also fail count.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a computation may start. When it may not,
+// retryAfter is the time left until the next probe slot.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.openedAt.Add(b.cooldown).Sub(b.now()); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// report records the outcome of a computation that allow admitted.
+func (b *breaker) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.fails = 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if success {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == breakerClosed && b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// current returns the state for /healthz and /v1/stats.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memoCache is the L1 request memo: a small LRU from request-body hash
+// to cached entry. It exists for the hot path — a client re-asking for
+// the same graph bytes skips canonical hashing and the store entirely.
+type memoCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[[32]byte]*list.Element
+	ll  *list.List // front = most recent
+}
+
+type memoItem struct {
+	key [32]byte
+	ent *entry
+}
+
+func newMemoCache(capacity int) *memoCache {
+	return &memoCache{cap: capacity, m: make(map[[32]byte]*list.Element, capacity), ll: list.New()}
+}
+
+func (c *memoCache) get(key [32]byte) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memoItem).ent, true
+}
+
+func (c *memoCache) put(key [32]byte, ent *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*memoItem).ent = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&memoItem{key: key, ent: ent})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		delete(c.m, last.Value.(*memoItem).key)
+		c.ll.Remove(last)
+	}
+}
+
+func (c *memoCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

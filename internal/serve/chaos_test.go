@@ -1,0 +1,276 @@
+package serve
+
+// The fault-injection chaos harness (DESIGN.md §8): one service over a
+// FaultFS-backed store is driven through failing, torn and slow cache
+// writes, failing reads, canceled requests, overload bursts and a
+// kill-restart — while a differential check holds every successful
+// response to the exact oracle output (and, for the pinned families,
+// to the committed golden advice vectors of testdata/advice). The
+// service's whole degradation contract is: it may slow down, shed or
+// refuse — it may never answer with different bits.
+//
+// The suite is run under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	election "repro"
+	"repro/internal/bits"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// chaosInstance is one graph plus its reference advice.
+type chaosInstance struct {
+	name string
+	g    *graph.Graph
+	phi  int
+	enc  bits.String
+}
+
+// chaosInstances builds the workload and its reference answers with a
+// direct oracle call per instance.
+func chaosInstances(t *testing.T) []chaosInstance {
+	t.Helper()
+	gs := map[string]*graph.Graph{
+		"hairy":    election.BuildHairyRing([]int{2, 0, 3, 1}).G,
+		"grid":     election.Grid(4, 3),
+		"necklace": election.BuildNecklace(4, 3, 3, election.NecklaceCode(4, 3, 1)).G,
+		"broom":    election.Broom(3, 4),
+		"random":   election.RandomConnected(30, 15, 11),
+	}
+	var out []chaosInstance
+	for name, g := range gs {
+		a, enc, err := election.NewSystem().ComputeAdvice(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out = append(out, chaosInstance{name: name, g: g, phi: a.Phi, enc: enc})
+	}
+	return out
+}
+
+// TestChaosGoldenAnchor ties the harness's reference answers to the
+// committed golden vectors, so "matches the direct oracle" and
+// "matches the golden files" are the same check.
+func TestChaosGoldenAnchor(t *testing.T) {
+	for _, inst := range chaosInstances(t) {
+		if inst.name == "random" {
+			continue // committed as random-n30
+		}
+		raw, err := os.ReadFile(filepath.Join("..", "..", "testdata", "advice", inst.name+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", inst.name, err)
+		}
+		if golden := election.BitsFromString(strings.TrimSpace(string(raw))); !bits.Equal(inst.enc, golden) {
+			t.Errorf("%s: reference advice diverges from the golden vector", inst.name)
+		}
+	}
+}
+
+// relabeled returns an isomorphic copy of g under a seeded permutation.
+func relabeled(g *graph.Graph, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.RelabelNodes(g, rng.Perm(g.N()))
+}
+
+func TestChaosFaultStorm(t *testing.T) {
+	instances := chaosInstances(t)
+	dir := t.TempDir()
+	ffs := store.NewFaultFS(nil)
+	st, _, err := store.Open(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: st, QueueLimit: 4, MemoSize: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	check := func(res *AdviceResult, inst chaosInstance, phase string) {
+		t.Helper()
+		if res.Phi != inst.phi || !bits.Equal(res.Advice, inst.enc) {
+			t.Errorf("%s/%s: response diverges from reference advice", phase, inst.name)
+		}
+	}
+
+	// Phase 1: clean weather. Everything computes cold and persists.
+	for i, inst := range instances {
+		c := NewClient(ts.URL, int64(i))
+		res, err := c.Advice(context.Background(), inst.g)
+		if err != nil {
+			t.Fatalf("clean/%s: %v", inst.name, err)
+		}
+		check(res, inst, "clean")
+		if res.Cache != CacheCold {
+			t.Errorf("clean/%s: cache = %s, want cold", inst.name, res.Cache)
+		}
+	}
+	if st.Len() != len(instances) {
+		t.Fatalf("store holds %d entries after clean phase, want %d", st.Len(), len(instances))
+	}
+
+	// Phase 2: the storm. Torn writes, failing writes, failing reads
+	// and slow writes, while concurrent clients ask for relabeled
+	// copies (cache-hitting via the canonical hash) and fresh graphs
+	// (cache-missing, so the faulty write paths actually run).
+	ffs.SetWriteDelay(2 * time.Millisecond)
+	ffs.TearNextWrites(2)
+	ffs.FailNextWrites(2)
+	ffs.FailNextReads(3)
+	fresh := map[string]*graph.Graph{
+		"grid35":  election.Grid(3, 5),
+		"broom25": election.Broom(2, 5),
+		"lolli53": election.Lollipop(5, 3),
+	}
+	freshRef := map[string]chaosInstance{}
+	for name, g := range fresh {
+		a, enc, err := election.NewSystem().ComputeAdvice(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		freshRef[name] = chaosInstance{name: name, g: g, phi: a.Phi, enc: enc}
+	}
+
+	var wg sync.WaitGroup
+	for i, inst := range instances {
+		wg.Add(1)
+		go func(i int, inst chaosInstance) {
+			defer wg.Done()
+			c := NewClient(ts.URL, int64(100+i))
+			c.BaseBackoff = time.Millisecond
+			for seed := int64(1); seed <= 3; seed++ {
+				res, err := c.Advice(context.Background(), relabeled(inst.g, seed))
+				if err != nil {
+					t.Errorf("storm/%s: %v", inst.name, err)
+					return
+				}
+				check(res, inst, "storm")
+			}
+		}(i, inst)
+	}
+	for name, ref := range freshRef {
+		wg.Add(1)
+		go func(name string, ref chaosInstance) {
+			defer wg.Done()
+			c := NewClient(ts.URL, int64(len(name)))
+			c.BaseBackoff = time.Millisecond
+			res, err := c.Advice(context.Background(), ref.g)
+			if err != nil {
+				t.Errorf("storm/%s: %v", name, err)
+				return
+			}
+			check(res, ref, "storm")
+		}(name, ref)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// End of the storm: zero every remaining fault budget, then heal —
+	// one request per instance evicts any entry the torn writes left
+	// corrupt and re-persists it cleanly, so the phases below assert on
+	// deterministic disk state.
+	ffs.SetWriteDelay(0)
+	ffs.TearNextWrites(0)
+	ffs.FailNextWrites(0)
+	ffs.FailNextReads(0)
+	for i, inst := range instances {
+		res, err := NewClient(ts.URL, int64(50+i)).Advice(context.Background(), relabeled(inst.g, int64(50+i)))
+		if err != nil {
+			t.Fatalf("heal/%s: %v", inst.name, err)
+		}
+		check(res, inst, "heal")
+	}
+
+	// Phase 3: canceled contexts. A dead context fails fast and leaves
+	// the service healthy.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewClient(ts.URL, 7)
+	if _, err := c.Advice(canceled, election.Grid(5, 4)); err == nil {
+		t.Error("canceled context served a response")
+	}
+	res, err := NewClient(ts.URL, 8).Advice(context.Background(), instances[0].g)
+	if err != nil {
+		t.Fatalf("after cancellation: %v", err)
+	}
+	check(res, instances[0], "post-cancel")
+
+	// Phase 4: overload burst. With the queue wedged, every cold
+	// computation must shed with 429 — and a non-retrying client sees
+	// exactly that, while cached graphs keep being served.
+	for i := 0; i < cap(srv.sem); i++ {
+		srv.sem <- struct{}{}
+	}
+	burst := NewClient(ts.URL, 9)
+	burst.MaxAttempts = 1
+	var se *StatusError
+	if _, err := burst.Advice(context.Background(), election.Grid(6, 5)); !errors.As(err, &se) || se.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("wedged queue: err = %v, want 429", err)
+	}
+	if res, err := burst.Advice(context.Background(), instances[1].g); err != nil {
+		t.Errorf("cached graph during overload: %v", err)
+	} else {
+		check(res, instances[1], "overload")
+	}
+	for i := 0; i < cap(srv.sem); i++ {
+		<-srv.sem
+	}
+
+	// Phase 5: kill-restart. Tear the next write so the final commit is
+	// a post-crash torn entry, kill the service, restart over the same
+	// directory: recovery discards the torn entry, committed ones serve
+	// warm, the torn one recomputes — all bit-identical.
+	ffs.TearNextWrites(1)
+	torn2 := election.Broom(4, 5)
+	a2, enc2, err := election.NewSystem().ComputeAdvice(torn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(ts.URL, 10).Advice(context.Background(), torn2); err != nil {
+		t.Fatalf("torn-commit request: %v", err)
+	}
+	ts.Close()
+	srv.Close()
+
+	st2, rep, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DiscardedCorrupt == 0 {
+		t.Error("restart recovery discarded nothing despite a torn commit")
+	}
+	srv2 := New(Config{Store: st2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	c2 := NewClient(ts2.URL, 11)
+	for _, inst := range instances {
+		res, err := c2.Advice(context.Background(), relabeled(inst.g, 99))
+		if err != nil {
+			t.Fatalf("restart/%s: %v", inst.name, err)
+		}
+		check(res, inst, "restart")
+		if res.Cache != CacheWarm {
+			t.Errorf("restart/%s: cache = %s, want warm", inst.name, res.Cache)
+		}
+	}
+	res2, err := c2.Advice(context.Background(), torn2)
+	if err != nil {
+		t.Fatalf("restart/torn: %v", err)
+	}
+	if res2.Phi != a2.Phi || !bits.Equal(res2.Advice, enc2) {
+		t.Error("recomputed advice for the torn entry diverges")
+	}
+}

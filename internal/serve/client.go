@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/graph"
+)
+
+// AdviceResult is what the client hands back for one graph.
+type AdviceResult struct {
+	Phi      int
+	Advice   bits.String
+	Cache    string // CacheHot, CacheWarm or CacheCold
+	Degraded bool   // served, but the service could not persist it
+}
+
+// StatusError is a non-retryable HTTP failure (bad request, infeasible
+// graph, or retries exhausted on a retryable status).
+type StatusError struct {
+	StatusCode int
+	Code       string
+	Message    string
+
+	retryAfterHint time.Duration // parsed Retry-After, consumed by the retry loop
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: status %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Client talks to the advice service's binary endpoint with retries.
+// Retryable failures — connection errors (the service may be mid
+// restart), 429, 500, 502, 503, 504 — back off exponentially with
+// jitter, honoring a Retry-After header when the service sends one.
+// 400 and 422 fail immediately: resending the same bytes cannot help.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds total tries (default 6).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the exponential backoff
+	// (defaults 50ms and 2s). Each wait is the exponential step
+	// multiplied by a uniform jitter in [0.5, 1.5).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a Client for baseURL with deterministic jitter
+// seeded by seed (tests pin it; production callers can pass anything).
+func NewClient(baseURL string, seed int64) *Client {
+	return &Client{BaseURL: baseURL, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 6
+}
+
+// backoff returns the jittered wait before attempt i (0-based retry
+// count), or the server-provided hint when it is longer.
+func (c *Client) backoff(i int, retryAfter time.Duration) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(i)
+	if d > max || d <= 0 {
+		d = max
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// Advice requests the advice for g, retrying transient failures until
+// ctx expires or attempts run out.
+func (c *Client) Advice(ctx context.Context, g *graph.Graph) (*AdviceResult, error) {
+	body, err := g.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	url := c.BaseURL + "/v1/advice.bin"
+	var lastErr error
+	for i := 0; i < c.attempts(); i++ {
+		if i > 0 {
+			var retryAfter time.Duration
+			var se *StatusError
+			if errors.As(lastErr, &se) {
+				retryAfter = se.retryAfterHint
+			}
+			select {
+			case <-time.After(c.backoff(i-1, retryAfter)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("serve: giving up after %d attempts: %w (last: %v)", i, ctx.Err(), lastErr)
+			}
+		}
+		res, retryable, err := c.once(ctx, url, body)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("serve: %w (last: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return nil, fmt.Errorf("serve: retries exhausted: %w", lastErr)
+}
+
+func (c *Client) once(ctx context.Context, url string, body []byte) (*AdviceResult, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Network-level failure: the server may be restarting.
+		return nil, ctx.Err() == nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return nil, true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{StatusCode: resp.StatusCode, Message: string(data)}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil {
+				se.retryAfterHint = time.Duration(secs) * time.Second
+			}
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return nil, true, se
+		default:
+			return nil, false, se
+		}
+	}
+	phi, adv, cache, degraded, err := decodeWireResponse(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return &AdviceResult{Phi: phi, Advice: adv, Cache: cache, Degraded: degraded}, false, nil
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/store"
+)
+
+// flightGroup deduplicates concurrent oracle computations by canonical
+// graph hash: the first request for a key becomes the leader and runs
+// the computation; followers arriving while it is in flight wait for
+// the same result instead of burning a second oracle run on an
+// isomorphic graph. (Hand-rolled: the repository takes no dependencies,
+// and the service wants context-aware waiting anyway.)
+type flightGroup struct {
+	sem chan struct{} // capacity-1 mutex, so waiters can also select on ctx
+	m   map[store.Key]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  *entry
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	g := &flightGroup{sem: make(chan struct{}, 1), m: make(map[store.Key]*flightCall)}
+	return g
+}
+
+func (g *flightGroup) lock(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *flightGroup) unlock() { <-g.sem }
+
+// do returns fn's result for key, running fn at most once concurrently
+// per key. shared reports that the result came from another request's
+// flight. fn runs detached from ctx (it carries its own deadline), so a
+// leader whose client disconnects still completes the computation for
+// the followers; ctx only bounds this caller's wait.
+func (g *flightGroup) do(ctx context.Context, key store.Key, fn func() (*entry, error)) (val *entry, err error, shared bool) {
+	if err := g.lock(ctx); err != nil {
+		return nil, err, false
+	}
+	if c, ok := g.m[key]; ok {
+		g.unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.unlock()
+
+	go func() {
+		c.val, c.err = fn()
+		// Remove before signaling: once done is closed the result is
+		// final, and the next request for the key starts a new flight.
+		if err := g.lock(context.Background()); err == nil {
+			delete(g.m, key)
+			g.unlock()
+		}
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, c.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), false
+	}
+}

@@ -35,6 +35,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -43,6 +44,43 @@ import (
 	"repro/internal/graph"
 	"repro/internal/view"
 )
+
+// StuckNode is one undecided node and the logical round it is stuck at.
+type StuckNode struct {
+	Node  int
+	Round int
+}
+
+// StuckError reports an asynchronous run that could not complete:
+// either the round budget was exceeded (a node needed more than
+// MaxRounds logical rounds) or the network quiesced (the event queue
+// drained with nodes still undecided — the signature of an adversary
+// that drops messages, e.g. a severed slow cut). It carries the
+// diagnostics the service and the tests branch on: how many nodes are
+// stuck, the round window they occupy, a sample of them, and the
+// pending-event count at failure.
+type StuckError struct {
+	Quiesced  bool        // event queue drained; otherwise the budget tripped
+	MaxRounds int         // the round budget, when !Quiesced
+	Undecided int         // nodes still undecided
+	MinRound  int         // slowest undecided node's logical round
+	MaxRound  int         // fastest undecided node's logical round
+	Pending   int         // events still queued when the run gave up
+	Sample    []StuckNode // up to four undecided nodes with their rounds
+}
+
+func (e *StuckError) Error() string {
+	sample := make([]string, len(e.Sample))
+	for i, s := range e.Sample {
+		sample[i] = fmt.Sprintf("node %d@r%d", s.Node, s.Round)
+	}
+	diag := fmt.Sprintf("%d undecided nodes at rounds %d..%d (%s), %d pending events",
+		e.Undecided, e.MinRound, e.MaxRound, strings.Join(sample, ", "), e.Pending)
+	if e.Quiesced {
+		return fmt.Sprintf("sim: async network quiesced: %s", diag)
+	}
+	return fmt.Sprintf("sim: async round budget of %d exceeded: %s", e.MaxRounds, diag)
+}
 
 // AsyncResult extends Result with the schedule-level measurements.
 type AsyncResult struct {
@@ -70,6 +108,14 @@ type asyncLevel struct {
 // time-stamp synchronizer; decisions and decision rounds are identical
 // to the synchronous engines' under every model.
 func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed int64, model DelayModel) (*AsyncResult, error) {
+	return RunAsyncCtx(context.Background(), tab, g, f, maxRounds, seed, model)
+}
+
+// RunAsyncCtx is RunAsync with cancellation checkpoints: per logical
+// round of the global frontier, and every few thousand delivered events
+// in between (an adversarial schedule can deliver unboundedly many
+// events without advancing the frontier).
+func RunAsyncCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed int64, model DelayModel) (*AsyncResult, error) {
 	n := g.N()
 	if model == nil {
 		model = NewUniformDelay()
@@ -170,29 +216,45 @@ func RunAsync(tab *view.Table, g *graph.Graph, f Factory, maxRounds int, seed in
 		}
 	}
 
-	diagnose := func() string {
-		lo, hi, sample := -1, 0, make([]string, 0, 4)
+	// stuck assembles the typed diagnostics of a failed run: the round
+	// window of the undecided nodes, a sample of them, and the queue
+	// backlog at the moment the run gave up.
+	stuck := func(quiesced bool) *StuckError {
+		se := &StuckError{
+			Quiesced: quiesced, Undecided: undecided,
+			MinRound: -1, Pending: q.len(),
+		}
+		if !quiesced {
+			se.MaxRounds = maxRounds
+		}
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
 			}
 			r := int(round[v])
-			if lo < 0 || r < lo {
-				lo = r
+			if se.MinRound < 0 || r < se.MinRound {
+				se.MinRound = r
 			}
-			if r > hi {
-				hi = r
+			if r > se.MaxRound {
+				se.MaxRound = r
 			}
-			if len(sample) < cap(sample) {
-				sample = append(sample, fmt.Sprintf("node %d@r%d", v, r))
+			if len(se.Sample) < 4 {
+				se.Sample = append(se.Sample, StuckNode{Node: v, Round: r})
 			}
 		}
-		return fmt.Sprintf("%d undecided nodes at rounds %d..%d (%s), %d pending events",
-			undecided, lo, hi, strings.Join(sample, ", "), q.len())
+		return se
 	}
 
+	const cancelCheckEvery = 8192
+	sinceCheck := 0
 events:
 	for undecided > 0 && q.len() > 0 {
+		if sinceCheck++; sinceCheck >= cancelCheckEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: async canceled with %d nodes undecided: %w", undecided, err)
+			}
+		}
 		e := q.pop()
 		now = e.at
 		res.Messages++
@@ -213,12 +275,15 @@ events:
 		for cnt0[v] == deg {
 			r := int(round[v]) + 1
 			if r > maxRounds {
-				return nil, fmt.Errorf("sim: async round budget of %d exceeded: %s", maxRounds, diagnose())
+				return nil, stuck(false)
 			}
 			round[v] = int32(r)
 			cnt0[v], cnt1[v] = cnt1[v], 0
 			if r > maxRound {
 				maxRound = r
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: async canceled at round %d with %d nodes undecided: %w", r, undecided, err)
+				}
 				if skew := maxRound - minLive; skew > res.MaxSkew {
 					res.MaxSkew = skew
 				}
@@ -254,7 +319,7 @@ events:
 		}
 	}
 	if undecided > 0 {
-		return nil, fmt.Errorf("sim: async network quiesced: %s", diagnose())
+		return nil, stuck(true)
 	}
 	for _, r := range res.Rounds {
 		if r > res.Time {

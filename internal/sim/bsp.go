@@ -19,6 +19,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,13 @@ import (
 // invoked from multiple goroutines (for different nodes), the same
 // discipline RunConcurrent already imposes.
 func RunBSP(tab *view.Table, g *graph.Graph, f Factory, maxRounds, workers int) (*Result, error) {
+	return RunBSPCtx(context.Background(), tab, g, f, maxRounds, workers)
+}
+
+// RunBSPCtx is RunBSP with a cancellation checkpoint per round, so a
+// runaway simulation under a per-request timeout stops at the next
+// round barrier instead of running to the maxRounds budget.
+func RunBSPCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f Factory, maxRounds, workers int) (*Result, error) {
 	n := g.N()
 	deciders := make([]Decider, n)
 	for v := 0; v < n; v++ {
@@ -51,6 +59,9 @@ func RunBSP(tab *view.Table, g *graph.Graph, f Factory, maxRounds, workers int) 
 
 	remaining := n
 	for r := 0; ; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: bsp canceled at round %d with %d nodes undecided: %w", r, remaining, err)
+		}
 		remaining -= sweep.run(r, cv.Class(), cv.Views())
 		if remaining == 0 {
 			break

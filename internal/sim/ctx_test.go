@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// The budget and quiescence failures must be the typed StuckError, so
+// the advice service and the chaos harness can branch on the failure
+// shape instead of parsing strings.
+func TestStuckErrorTyped(t *testing.T) {
+	g := graph.Path(3)
+	f := func(simID, deg int) Decider { return never{} }
+	_, err := RunAsync(view.NewTable(), g, f, 5, 1, nil)
+	var se *StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("budget error is %T, want *StuckError", err)
+	}
+	if se.Quiesced || se.MaxRounds != 5 || se.Undecided != 3 {
+		t.Errorf("budget StuckError = %+v", se)
+	}
+	if len(se.Sample) == 0 || se.MinRound < 0 || se.MaxRound < se.MinRound {
+		t.Errorf("budget StuckError diagnostics incomplete: %+v", se)
+	}
+
+	inCut := make([]bool, 8)
+	inCut[0], inCut[1], inCut[2] = true, true, true
+	ring := graph.Ring(8)
+	fs := func(simID, deg int) Decider { return &stopAt{round: 6, out: []int{}} }
+	_, err = RunAsync(view.NewTable(), ring, fs, 100, 1, NewSlowCutDelay(inCut, Drop, 0.1))
+	se = nil
+	if !errors.As(err, &se) {
+		t.Fatalf("quiescence error is %T, want *StuckError", err)
+	}
+	if !se.Quiesced || se.Undecided == 0 || se.Pending != 0 {
+		t.Errorf("quiescence StuckError = %+v", se)
+	}
+}
+
+// Canceled contexts must abort both engines with an error wrapping
+// ctx.Err(), at a round checkpoint — not run to the budget.
+func TestEnginesHonorCancellation(t *testing.T) {
+	g := graph.Ring(9)
+	tab := view.NewTable()
+	f := func(simID, deg int) Decider { return never{} }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := RunBSPCtx(ctx, tab, g, f, 1_000_000, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("bsp: err = %v, want context.Canceled", err)
+	}
+	if _, err := RunAsyncCtx(ctx, tab, g, f, 1_000_000, 1, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("async: err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every fault FaultFS injects, so tests can
+// errors.Is failures back to the injection.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultFS wraps an FS with deterministic fault injection — the chaos
+// harness's store backend. The zero configuration passes everything
+// through. Faults are counted down per category: a budget of n means
+// the first n matching operations fail (or are torn, or slowed), then
+// the FS heals — which lets one test script "two failed writes, then
+// recovery" without sleeping or racing.
+type FaultFS struct {
+	Inner FS
+
+	mu         sync.Mutex
+	failWrites int           // WriteFile calls to fail outright
+	tornWrites int           // WriteFile calls to truncate mid-page but report success
+	failReads  int           // ReadFile calls to fail
+	writeDelay time.Duration // added latency per WriteFile
+	writeCount int
+	torePaths  []string // paths whose writes were torn
+}
+
+// NewFaultFS wraps inner (nil means OSFS).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{Inner: inner}
+}
+
+// FailNextWrites makes the next n WriteFile calls return ErrInjected.
+func (f *FaultFS) FailNextWrites(n int) { f.mu.Lock(); f.failWrites = n; f.mu.Unlock() }
+
+// TearNextWrites makes the next n WriteFile calls persist only a
+// prefix of the data — cut mid-page — while reporting success: the
+// crash-after-partial-flush a recovery scan must survive.
+func (f *FaultFS) TearNextWrites(n int) { f.mu.Lock(); f.tornWrites = n; f.mu.Unlock() }
+
+// FailNextReads makes the next n ReadFile calls return ErrInjected.
+func (f *FaultFS) FailNextReads(n int) { f.mu.Lock(); f.failReads = n; f.mu.Unlock() }
+
+// SetWriteDelay adds fixed latency to every WriteFile — the slow-disk
+// adversary for timeout tests.
+func (f *FaultFS) SetWriteDelay(d time.Duration) { f.mu.Lock(); f.writeDelay = d; f.mu.Unlock() }
+
+// TornPaths returns the paths whose writes were torn, so a test can
+// assert exactly which entries recovery discarded.
+func (f *FaultFS) TornPaths() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.torePaths...)
+}
+
+// Writes returns the number of WriteFile calls observed.
+func (f *FaultFS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writeCount }
+
+func (f *FaultFS) MkdirAll(dir string) error            { return f.Inner.MkdirAll(dir) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+func (f *FaultFS) Rename(o, n string) error             { return f.Inner.Rename(o, n) }
+func (f *FaultFS) Remove(path string) error             { return f.Inner.Remove(path) }
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	fail := f.failReads > 0
+	if fail {
+		f.failReads--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.Join(ErrInjected, errors.New("read of "+path))
+	}
+	return f.Inner.ReadFile(path)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	f.mu.Lock()
+	f.writeCount++
+	delay := f.writeDelay
+	fail, torn := false, false
+	if f.failWrites > 0 {
+		f.failWrites--
+		fail = true
+	} else if f.tornWrites > 0 {
+		f.tornWrites--
+		torn = true
+		f.torePaths = append(f.torePaths, path)
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return errors.Join(ErrInjected, errors.New("write of "+path))
+	}
+	if torn {
+		// Persist a ragged prefix — cut inside a page so both the
+		// page-multiple check and the checksum path get exercised.
+		cut := len(data)/2 + PageSize/3
+		if cut > len(data) {
+			cut = len(data) / 2
+		}
+		return f.Inner.WriteFile(path, data[:cut])
+	}
+	return f.Inner.WriteFile(path, data)
+}

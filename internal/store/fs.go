@@ -1,0 +1,79 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the file-system surface the store runs on. The production
+// implementation is OSFS; the chaos suite substitutes FaultFS to
+// inject failing, torn and slow writes deterministically. Semantics
+// the store relies on:
+//
+//   - WriteFile creates (or truncates) path with the full contents and
+//     durably syncs it before returning nil;
+//   - Rename atomically replaces newpath with oldpath;
+//   - ReadDir lists the base names of the directory's regular files.
+type FS interface {
+	MkdirAll(dir string) error
+	ReadDir(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+}
+
+// OSFS is the real file system.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile writes and fsyncs the file. The fsync matters: the commit
+// protocol renames this file into place, and a rename of an unsynced
+// file can surface as a torn entry after a power loss — exactly the
+// fault the recovery scan exists for, but not one to invite.
+func (OSFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// Sync the parent directory so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(newpath)); err == nil {
+		d.Sync() //nolint:errcheck // advisory; some filesystems reject dir sync
+		d.Close()
+	}
+	return nil
+}
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }

@@ -1,0 +1,197 @@
+// Package store is the page-backed persistent advice cache of the
+// advice service (internal/serve): a content-addressed key → value map
+// whose committed entries survive crashes and restarts.
+//
+// Layout. A value is split into fixed-size checksummed pages (PageSize
+// bytes; header + payload + CRC). All pages of one entry are
+// concatenated into a single entry file named by the key's hex form,
+// and a commit is an atomic write-then-rename: the pages are written to
+// a temporary name, synced, then renamed into place — so at every
+// instant the directory holds only complete committed entries plus
+// possibly torn temporaries, never a half-visible entry. The in-memory
+// index keeps the keys sorted (the B+tree-leaf discipline of
+// SNIPPETS.md §2–3, with the tree collapsed to one sorted level: the
+// working set is an index over immutable page files, not an in-place
+// updated tree).
+//
+// Recovery. Open scans the directory: temporaries are deleted (a crash
+// mid-write), and every entry file is fully validated — magic, version,
+// per-page CRC, page sequence, length consistency, key agreement with
+// the file name. Any violation discards the whole entry (quarantined by
+// deletion, counted in the RecoveryReport); a torn or bit-flipped page
+// can therefore never resurface as wrong advice.
+//
+// Fault injection. All file operations go through the FS interface;
+// FaultFS (faultfs.go) injects failing, torn and slow writes, which is
+// how the chaos suite drives every degradation path deterministically.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the fixed on-disk page size in bytes.
+const PageSize = 4096
+
+// pageHeaderSize is the fixed header prefix of every page:
+// magic(4) + version(1) + flags(1) + pageIndex(2) + key(32) +
+// totalLen(4) + payloadLen(2) + crc(4).
+const pageHeaderSize = 50
+
+// PayloadCap is the payload capacity of one page.
+const PayloadCap = PageSize - pageHeaderSize
+
+// maxPages bounds an entry to what a uint16 page index addresses
+// (~259 MB), far above any advice the oracle emits.
+const maxPages = 1 << 16
+
+const (
+	pageVersion  = 1
+	flagLastPage = 1 << 0
+)
+
+var pageMagic = [4]byte{'A', 'D', 'V', 'P'}
+
+// Key is a 32-byte content address (the canonical graph hash).
+type Key [32]byte
+
+// PageHeader is the decoded fixed prefix of one page.
+type PageHeader struct {
+	Version    uint8
+	Last       bool   // this is the entry's final page
+	PageIndex  uint16 // position of this page within its entry
+	Key        Key    // owning entry, repeated on every page
+	TotalLen   uint32 // full value length in bytes, repeated on every page
+	PayloadLen uint16
+}
+
+// appendPage appends one encoded page to buf.
+func appendPage(buf []byte, key Key, pageIndex int, totalLen int, last bool, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, pageMagic[:]...)
+	buf = append(buf, pageVersion)
+	var flags byte
+	if last {
+		flags |= flagLastPage
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(pageIndex))
+	buf = append(buf, key[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(totalLen))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(payload)))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc placeholder
+	buf = append(buf, payload...)
+	buf = append(buf, make([]byte, PageSize-(len(buf)-start))...) // zero padding
+	crc := crc32.Checksum(buf[start:], crcTable)
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc)
+	return buf
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DecodePage validates one PageSize-byte page and returns its header
+// and payload (aliasing page). It is total on arbitrary bytes: every
+// malformation is an error, never a panic — the recovery scan and the
+// fuzz target both lean on that.
+func DecodePage(page []byte) (PageHeader, []byte, error) {
+	var h PageHeader
+	if len(page) != PageSize {
+		return h, nil, fmt.Errorf("store: page is %d bytes, want %d", len(page), PageSize)
+	}
+	if [4]byte(page[:4]) != pageMagic {
+		return h, nil, fmt.Errorf("store: bad page magic")
+	}
+	h.Version = page[4]
+	if h.Version != pageVersion {
+		return h, nil, fmt.Errorf("store: unsupported page version %d", h.Version)
+	}
+	flags := page[5]
+	if flags&^byte(flagLastPage) != 0 {
+		return h, nil, fmt.Errorf("store: unknown page flags %#x", flags)
+	}
+	h.Last = flags&flagLastPage != 0
+	h.PageIndex = binary.LittleEndian.Uint16(page[6:])
+	copy(h.Key[:], page[8:40])
+	h.TotalLen = binary.LittleEndian.Uint32(page[40:])
+	h.PayloadLen = binary.LittleEndian.Uint16(page[44:])
+	crc := binary.LittleEndian.Uint32(page[46:])
+	// CRC covers the whole page with the crc field zeroed.
+	var scratch [PageSize]byte
+	copy(scratch[:], page)
+	binary.LittleEndian.PutUint32(scratch[46:], 0)
+	if got := crc32.Checksum(scratch[:], crcTable); got != crc {
+		return h, nil, fmt.Errorf("store: page checksum mismatch (got %#x, want %#x)", got, crc)
+	}
+	if int(h.PayloadLen) > PayloadCap {
+		return h, nil, fmt.Errorf("store: payload length %d exceeds page capacity %d", h.PayloadLen, PayloadCap)
+	}
+	// Cross-field consistency: the page must cover exactly its slice of
+	// the entry, and only the last page may be short.
+	lo := int(h.PageIndex) * PayloadCap
+	if lo+int(h.PayloadLen) > int(h.TotalLen) {
+		return h, nil, fmt.Errorf("store: page %d overruns entry length %d", h.PageIndex, h.TotalLen)
+	}
+	if h.Last {
+		if lo+int(h.PayloadLen) != int(h.TotalLen) {
+			return h, nil, fmt.Errorf("store: last page ends at %d, entry length %d", lo+int(h.PayloadLen), h.TotalLen)
+		}
+	} else if int(h.PayloadLen) != PayloadCap {
+		return h, nil, fmt.Errorf("store: interior page %d is short (%d bytes)", h.PageIndex, h.PayloadLen)
+	}
+	return h, page[pageHeaderSize : pageHeaderSize+int(h.PayloadLen)], nil
+}
+
+// encodeEntry encodes the full page sequence for (key, val). Empty
+// values encode as a single empty last page.
+func encodeEntry(key Key, val []byte) ([]byte, error) {
+	pages := (len(val) + PayloadCap - 1) / PayloadCap
+	if pages == 0 {
+		pages = 1
+	}
+	if pages > maxPages {
+		return nil, fmt.Errorf("store: value of %d bytes needs %d pages, limit %d", len(val), pages, maxPages)
+	}
+	buf := make([]byte, 0, pages*PageSize)
+	for i := 0; i < pages; i++ {
+		lo := i * PayloadCap
+		hi := lo + PayloadCap
+		if hi > len(val) {
+			hi = len(val)
+		}
+		buf = appendPage(buf, key, i, len(val), i == pages-1, val[lo:hi])
+	}
+	return buf, nil
+}
+
+// decodeEntry validates a full entry file against key and reassembles
+// the value.
+func decodeEntry(key Key, data []byte) ([]byte, error) {
+	if len(data) == 0 || len(data)%PageSize != 0 {
+		return nil, fmt.Errorf("store: entry is %d bytes, not a page multiple", len(data))
+	}
+	n := len(data) / PageSize
+	var val []byte
+	for i := 0; i < n; i++ {
+		h, payload, err := DecodePage(data[i*PageSize : (i+1)*PageSize])
+		if err != nil {
+			return nil, fmt.Errorf("store: page %d: %w", i, err)
+		}
+		if h.Key != key {
+			return nil, fmt.Errorf("store: page %d carries a foreign key", i)
+		}
+		if int(h.PageIndex) != i {
+			return nil, fmt.Errorf("store: page %d stamped as index %d", i, h.PageIndex)
+		}
+		if h.Last != (i == n-1) {
+			return nil, fmt.Errorf("store: last-page flag wrong at page %d of %d", i, n)
+		}
+		if i == 0 {
+			val = make([]byte, 0, h.TotalLen)
+		}
+		val = append(val, payload...)
+	}
+	return val, nil
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrCorrupt marks an entry whose on-disk pages failed validation; the
+// store reports it (and removes the entry) instead of ever returning
+// suspect bytes.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+const (
+	entrySuffix = ".adv"
+	tempPrefix  = "tmp-"
+)
+
+// RecoveryReport summarizes the Open-time scan.
+type RecoveryReport struct {
+	Entries          int      // committed entries adopted
+	DiscardedTemp    int      // abandoned temporaries removed
+	DiscardedCorrupt int      // committed-looking entries that failed validation
+	DiscardedNames   []string // file names of the discarded corrupt entries
+}
+
+// Store is the persistent advice cache. Safe for concurrent use; reads
+// take no file locks (entry files are immutable once renamed in).
+type Store struct {
+	dir string
+	fs  FS
+
+	mu   sync.RWMutex
+	size map[Key]int // committed entries and their value lengths
+	keys []Key       // sorted index over size's keys
+
+	tmpSeq atomic.Uint64
+}
+
+// Open adopts (or creates) dir as a store rooted on fs (nil = OSFS)
+// and runs the recovery scan: temporaries are deleted, every entry
+// file is validated page by page, and torn or corrupt entries are
+// discarded — a crash mid-commit costs at most the entry being
+// written, never a previously committed one.
+func Open(dir string, fs FS) (*Store, RecoveryReport, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	var rep RecoveryReport
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, rep, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, fs: fs, size: make(map[Key]int)}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasPrefix(name, tempPrefix):
+			// A temporary is by definition uncommitted: remove it.
+			s.fs.Remove(path) //nolint:errcheck // best-effort cleanup
+			rep.DiscardedTemp++
+		case strings.HasSuffix(name, entrySuffix):
+			key, kerr := parseEntryName(name)
+			var val []byte
+			if kerr == nil {
+				val, kerr = s.readEntry(key, path)
+			}
+			if kerr != nil {
+				s.fs.Remove(path) //nolint:errcheck // quarantine by deletion
+				rep.DiscardedCorrupt++
+				rep.DiscardedNames = append(rep.DiscardedNames, name)
+				continue
+			}
+			s.size[key] = len(val)
+			rep.Entries++
+		}
+		// Foreign files are left alone.
+	}
+	s.keys = make([]Key, 0, len(s.size))
+	for k := range s.size {
+		s.keys = append(s.keys, k)
+	}
+	sortKeys(s.keys)
+	return s, rep, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of committed entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.keys)
+}
+
+// Keys returns the committed keys in sorted order.
+func (s *Store) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Key(nil), s.keys...)
+}
+
+// Get returns the committed value for key. ok reports a hit. A read
+// error surfaces as (nil, false, err); a validation failure
+// additionally evicts the entry and wraps ErrCorrupt — the caller sees
+// an explicit degraded miss, never silently wrong bytes.
+func (s *Store) Get(key Key) (val []byte, ok bool, err error) {
+	s.mu.RLock()
+	_, exists := s.size[key]
+	s.mu.RUnlock()
+	if !exists {
+		return nil, false, nil
+	}
+	val, err = s.readEntry(key, s.entryPath(key))
+	if err != nil {
+		if !errors.Is(err, ErrInjected) {
+			// Validation failure: evict so the entry cannot keep
+			// poisoning lookups, then report the corruption.
+			s.evict(key)
+			err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return nil, false, err
+	}
+	return val, true, nil
+}
+
+// Put commits (key, val) with atomic write-then-rename. On any error
+// the store's committed state is unchanged (the temporary, if created,
+// is removed best-effort).
+func (s *Store) Put(key Key, val []byte) error {
+	enc, err := encodeEntry(key, val)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%x-%d", tempPrefix, key[:8], s.tmpSeq.Add(1)))
+	if err := s.fs.WriteFile(tmp, enc); err != nil {
+		s.fs.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := s.fs.Rename(tmp, s.entryPath(key)); err != nil {
+		s.fs.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("store: commit %x: %w", key[:8], err)
+	}
+	s.mu.Lock()
+	if _, existed := s.size[key]; !existed {
+		i := sort.Search(len(s.keys), func(i int) bool { return keyLess(key, s.keys[i]) })
+		s.keys = append(s.keys, Key{})
+		copy(s.keys[i+1:], s.keys[i:])
+		s.keys[i] = key
+	}
+	s.size[key] = len(val)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) entryPath(key Key) string {
+	return filepath.Join(s.dir, hex.EncodeToString(key[:])+entrySuffix)
+}
+
+func (s *Store) readEntry(key Key, path string) ([]byte, error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntry(key, data)
+}
+
+func (s *Store) evict(key Key) {
+	s.mu.Lock()
+	if _, ok := s.size[key]; ok {
+		delete(s.size, key)
+		i := sort.Search(len(s.keys), func(i int) bool { return !keyLess(s.keys[i], key) })
+		if i < len(s.keys) && s.keys[i] == key {
+			s.keys = append(s.keys[:i], s.keys[i+1:]...)
+		}
+	}
+	s.mu.Unlock()
+	s.fs.Remove(s.entryPath(key)) //nolint:errcheck // quarantine by deletion
+}
+
+func parseEntryName(name string) (Key, error) {
+	var key Key
+	hexPart := strings.TrimSuffix(name, entrySuffix)
+	b, err := hex.DecodeString(hexPart)
+	if err != nil || len(b) != len(key) {
+		return key, fmt.Errorf("store: entry name %q is not a key", name)
+	}
+	copy(key[:], b)
+	return key, nil
+}
+
+func keyLess(a, b Key) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func sortKeys(keys []Key) {
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+}

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b ^ byte(i)
+	}
+	return k
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	key := testKey(7)
+	sizes := []int{0, 1, PayloadCap - 1, PayloadCap, PayloadCap + 1, 3*PayloadCap + 17}
+	for _, n := range sizes {
+		val := make([]byte, n)
+		for i := range val {
+			val[i] = byte(i * 31)
+		}
+		enc, err := encodeEntry(key, val)
+		if err != nil {
+			t.Fatalf("encodeEntry(%d bytes): %v", n, err)
+		}
+		if len(enc)%PageSize != 0 {
+			t.Fatalf("encoded entry of %d bytes is %d bytes, not a page multiple", n, len(enc))
+		}
+		got, err := decodeEntry(key, enc)
+		if err != nil {
+			t.Fatalf("decodeEntry(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("round trip of %d bytes mismatched", n)
+		}
+	}
+}
+
+func TestDecodeEntryRejectsDamage(t *testing.T) {
+	key := testKey(3)
+	val := bytes.Repeat([]byte{0xAB}, 2*PayloadCap+100)
+	enc, err := encodeEntry(key, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"truncated mid-page":  func(b []byte) []byte { return b[:len(b)-PageSize/2] },
+		"missing last page":   func(b []byte) []byte { return b[:len(b)-PageSize] },
+		"bit flip in payload": func(b []byte) []byte { b[PageSize+pageHeaderSize+5] ^= 1; return b },
+		"bit flip in header":  func(b []byte) []byte { b[6] ^= 1; return b },
+		"swapped pages": func(b []byte) []byte {
+			tmp := append([]byte(nil), b[:PageSize]...)
+			copy(b, b[PageSize:2*PageSize])
+			copy(b[PageSize:], tmp)
+			return b
+		},
+		"empty file": func(b []byte) []byte { return nil },
+	}
+	for name, damage := range cases {
+		b := damage(append([]byte(nil), enc...))
+		if _, err := decodeEntry(key, b); err == nil {
+			t.Errorf("%s: decodeEntry accepted damaged entry", name)
+		}
+	}
+	if _, err := decodeEntry(testKey(4), enc); err == nil {
+		t.Error("decodeEntry accepted an entry under the wrong key")
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, rep, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 0 || s.Len() != 0 {
+		t.Fatalf("fresh store not empty: %+v", rep)
+	}
+
+	vals := map[byte][]byte{
+		1: []byte("short"),
+		2: bytes.Repeat([]byte{0xCD}, 3*PayloadCap+9),
+		3: {},
+	}
+	for b, v := range vals {
+		if err := s.Put(testKey(b), v); err != nil {
+			t.Fatalf("Put(%d): %v", b, err)
+		}
+	}
+	// Overwrite.
+	if err := s.Put(testKey(1), []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	vals[1] = []byte("replaced")
+
+	for b, want := range vals {
+		got, ok, err := s.Get(testKey(b))
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) = (%q, %v, %v), want %q", b, got, ok, err, want)
+		}
+	}
+	if _, ok, err := s.Get(testKey(9)); ok || err != nil {
+		t.Fatalf("Get(miss) = (_, %v, %v)", ok, err)
+	}
+
+	keys := s.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("Keys() has %d entries, want 3", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keyLess(keys[i-1], keys[i]) {
+			t.Fatalf("Keys() not sorted at %d", i)
+		}
+	}
+}
+
+func TestStoreReopenKeepsCommitted(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x5A}, PayloadCap+42)
+	if err := s.Put(testKey(1), want); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the process: just reopen the directory cold.
+	s2, rep, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 1 || rep.DiscardedCorrupt != 0 {
+		t.Fatalf("reopen report = %+v", rep)
+	}
+	got, ok, err := s2.Get(testKey(1))
+	if err != nil || !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopened Get = (%d bytes, %v, %v)", len(got), ok, err)
+	}
+}
+
+func TestRecoveryDiscardsTornAndTemp(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	s, _, err := Open(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := bytes.Repeat([]byte{0x11}, 2*PayloadCap)
+	if err := s.Put(testKey(1), good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn write reports success, so the commit rename proceeds and a
+	// corrupt entry lands in the directory — the post-crash state.
+	ffs.TearNextWrites(1)
+	if err := s.Put(testKey(2), bytes.Repeat([]byte{0x22}, 3*PayloadCap)); err != nil {
+		t.Fatalf("torn Put reported failure: %v", err)
+	}
+	if len(ffs.TornPaths()) != 1 {
+		t.Fatalf("TornPaths = %v", ffs.TornPaths())
+	}
+
+	// A crash between write and rename leaves a temporary behind.
+	tmp := filepath.Join(dir, tempPrefix+"orphan")
+	if err := os.WriteFile(tmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 1 || rep.DiscardedCorrupt != 1 || rep.DiscardedTemp != 1 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+	if got, ok, err := s2.Get(testKey(1)); err != nil || !ok || !bytes.Equal(got, good) {
+		t.Fatalf("committed entry lost in recovery: (%d bytes, %v, %v)", len(got), ok, err)
+	}
+	if _, ok, _ := s2.Get(testKey(2)); ok {
+		t.Fatal("torn entry resurfaced after recovery")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("orphan temporary survived recovery: %v", err)
+	}
+}
+
+func TestGetEvictsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	s, _, err := Open(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.TearNextWrites(1)
+	if err := s.Put(testKey(5), bytes.Repeat([]byte{0x55}, 4*PayloadCap)); err != nil {
+		t.Fatal(err)
+	}
+	// The store still believes in the entry; the first Get must detect
+	// the damage, evict, and say so.
+	_, ok, err := s.Get(testKey(5))
+	if ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(torn) = (_, %v, %v), want ErrCorrupt", ok, err)
+	}
+	// After eviction it is a plain miss, and a fresh Put heals it.
+	if _, ok, err := s.Get(testKey(5)); ok || err != nil {
+		t.Fatalf("Get after eviction = (_, %v, %v)", ok, err)
+	}
+	want := []byte("healed")
+	if err := s.Put(testKey(5), want); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.Get(testKey(5)); err != nil || !ok || !bytes.Equal(got, want) {
+		t.Fatalf("healed Get = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestFailedWriteLeavesStoreConsistent(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	s, _, err := Open(dir, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []byte("old value")
+	if err := s.Put(testKey(1), old); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailNextWrites(1)
+	err = s.Put(testKey(1), []byte("new value"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put with failing write: err = %v, want ErrInjected", err)
+	}
+	if got, ok, err := s.Get(testKey(1)); err != nil || !ok || !bytes.Equal(got, old) {
+		t.Fatalf("old value lost after failed overwrite: (%q, %v, %v)", got, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after failed Put, want 1", s.Len())
+	}
+
+	// Injected read failures surface verbatim, without eviction.
+	ffs.FailNextReads(1)
+	if _, ok, err := s.Get(testKey(1)); ok || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get with failing read = (_, %v, %v)", ok, err)
+	}
+	if got, ok, err := s.Get(testKey(1)); err != nil || !ok || !bytes.Equal(got, old) {
+		t.Fatalf("entry evicted on transient read failure: (%q, %v, %v)", got, ok, err)
+	}
+}
