@@ -604,3 +604,70 @@ func BenchmarkViewIntern(b *testing.B) {
 		})
 	})
 }
+
+// E25 — the crash-tolerant sharded BSP engine (DESIGN.md §9): the same
+// end-to-end minimum-time election as E21 at 10k and 100k nodes, run
+// single-process, sharded over 4 shards on a clean transport, and
+// sharded with one injected crash per shard. Beyond ns/op it reports
+// the rounds (bit-identical across all three by the differential
+// suite), the transport-level resends, and — for the crash variant —
+// the crash count and mean recovery (replay) time per crash in
+// milliseconds, the cost the checkpoint/replay protocol puts on a
+// shard death.
+func BenchmarkShardedBSP(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		make func() *Graph
+	}{
+		{"random-n10000", func() *Graph { return RandomConnected(10_000, 5_000, 1) }},
+		{"random-n100000", func() *Graph { return RandomConnected(100_000, 50_000, 1) }},
+	} {
+		g := size.make()
+		s := NewSystem()
+		_, enc, err := s.ComputeAdvice(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const shards = 4
+		for _, tc := range []struct {
+			name   string
+			faults func() *FaultInjector // nil = clean transport
+		}{
+			{"bsp", nil},
+			{"shards4", nil},
+			{"shards4-crash", func() *FaultInjector {
+				inj := NewFaultInjector(1)
+				for sh := 0; sh < shards; sh++ {
+					inj.ArmAfter(ShardCrashCat(sh), 3+5*sh, 1)
+				}
+				return inj
+			}},
+		} {
+			b.Run(size.name+"/"+tc.name, func(b *testing.B) {
+				var res *Result
+				for i := 0; i < b.N; i++ {
+					o := Options{}
+					if tc.name != "bsp" {
+						o.Shards = shards
+					}
+					if tc.faults != nil {
+						o.ShardFaults = tc.faults() // fresh budgets per run
+					}
+					var err error
+					res, err = s.RunElect(g, enc, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Time), "rounds")
+				if st := res.ShardStats; st != nil {
+					b.ReportMetric(float64(st.Retries), "resends")
+					if tc.faults != nil {
+						b.ReportMetric(float64(st.Crashes), "crashes")
+						b.ReportMetric(float64(st.MeanRecovery())/1e6, "recovery-ms/crash")
+					}
+				}
+			})
+		}
+	}
+}

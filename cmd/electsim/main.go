@@ -41,6 +41,16 @@
 // are identical under every model — only the virtual schedule, which
 // the run reports, differs.
 //
+// -shards=N runs the synchronous rounds on the crash-tolerant sharded
+// engine (N contiguous node ranges exchanging boundary class ids);
+// -chaos=<seed> additionally injects a replayable fault schedule —
+// drops, dups, reorders, delays and shard crashes — on the boundary
+// transport. The election outcome is bit-identical either way; the run
+// reports the retry/crash/recovery accounting:
+//
+//	electsim -graph random -n 100000 -algo mintime -shards=4
+//	electsim -graph hairy -n 64 -algo mintime -shards=3 -chaos=7
+//
 // The -cpuprofile/-memprofile flags cover whichever path runs.
 package main
 
@@ -71,6 +81,8 @@ func main() {
 		wire       = flag.Bool("wire", false, "serialize messages to bits (with -concurrent)")
 		async      = flag.Bool("async", false, "use the asynchronous event-driven engine (time-stamp synchronizer)")
 		delay      = flag.String("delay", "uniform", "async delay model: uniform, exp, pareto, fixed, fifo, slowcut")
+		shards     = flag.Int("shards", 0, "run the synchronous rounds on the crash-tolerant sharded engine with this many shards (>1)")
+		chaos      = flag.Int64("chaos", 0, "with -shards: inject a seeded fault schedule (drops, dups, reorders, delays, crashes) on the boundary transport")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock budget (0 = none); engines checkpoint per round")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -106,12 +118,12 @@ func main() {
 				}
 			}()
 		}
-		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *seed, *concurrent, *wire, *async, *timeout)
+		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *shards, *seed, *chaos, *concurrent, *wire, *async, *timeout)
 	}()
 	os.Exit(code)
 }
 
-func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, seed int64, concurrent, wire, async bool, timeout time.Duration) int {
+func run(graphKind, load, save, algo, engine, delay string, n, x, workers, shards int, seed, chaos int64, concurrent, wire, async bool, timeout time.Duration) int {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -196,6 +208,14 @@ func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, s
 	}
 
 	opts := election.Options{Engine: simEngine, Workers: workers, Concurrent: concurrent, Wire: wire, Context: ctx}
+	var chaosInj *election.FaultInjector
+	if shards > 1 {
+		opts.Shards, opts.ShardSeed = shards, seed
+		if chaos != 0 {
+			chaosInj = election.SeededShardChaos(chaos, shards)
+			opts.ShardFaults = chaosInj
+		}
+	}
 	if async {
 		model, ok := election.DelayModels(g)[delay]
 		if !ok {
@@ -240,6 +260,16 @@ func run(graphKind, load, save, algo, engine, delay string, n, x, workers int, s
 	fmt.Printf("advice: %d bits\n", res.AdviceBits)
 	if async {
 		fmt.Printf("async schedule (%s): virtual time %.3f, max round skew %d\n", delay, res.VirtualTime, res.MaxSkew)
+	}
+	if st := res.ShardStats; st != nil {
+		fmt.Printf("sharded: %d shards, %d retries, %d crashes, %d recoveries", st.Shards, st.Retries, st.Crashes, st.Recoveries)
+		if st.Recoveries > 0 {
+			fmt.Printf(" (mean recovery %v)", st.MeanRecovery().Round(10*time.Microsecond))
+		}
+		fmt.Println()
+		if chaosInj != nil {
+			fmt.Printf("chaos schedule: %s\n", chaosInj)
+		}
 	}
 	if res.ClassViews > 0 {
 		fmt.Printf("class views interned: %d (%.1f per round)\n",

@@ -33,9 +33,11 @@ import (
 	"repro/internal/advice"
 	"repro/internal/algorithms"
 	"repro/internal/bits"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/part"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 	"repro/internal/view"
 )
 
@@ -197,7 +199,8 @@ const (
 // Options configures a simulation run. The zero value selects the
 // class-sharing bulk-synchronous engine with a generous round budget;
 // the Concurrent/Async flags override Engine with the message-passing
-// realizations (goroutine per node, event-driven asynchrony).
+// realizations (goroutine per node, event-driven asynchrony), and
+// Shards > 1 with the crash-tolerant sharded BSP engine.
 type Options struct {
 	Engine     SimEngine  // synchronous engine: SimBSP (default) or SimSequential
 	Workers    int        // BSP decide-sweep workers; 0 = GOMAXPROCS
@@ -207,6 +210,22 @@ type Options struct {
 	AsyncSeed  int64      // message-delay seed for Async runs
 	Delay      DelayModel // Async delay adversary; nil = uniform (0,1]
 	MaxRounds  int        // 0 means a default proportional to the graph size
+
+	// Shards, when > 1, runs the synchronous rounds on the sharded
+	// crash-tolerant BSP engine (internal/sim/shard): each shard owns a
+	// contiguous node range and exchanges only boundary class ids per
+	// round. Outputs, Rounds, Time and Messages are bit-identical to the
+	// single-process engine. Ignored by the Concurrent/Async/Sequential
+	// realizations.
+	Shards int
+	// ShardFaults, when non-nil (and Shards > 1), wraps the boundary
+	// transport in a fault injector with this schedule — drops, dups,
+	// reorders, delays, link cuts and whole-shard crashes; see
+	// NewFaultInjector and the shard fault categories. The run must
+	// still produce bit-identical outputs or fail with ShardStuckError.
+	ShardFaults *FaultInjector
+	// ShardSeed drives the sharded engine's retry-backoff jitter.
+	ShardSeed int64
 
 	// Context, when non-nil, bounds the run: the BSP engine checks it
 	// at every round barrier and the asynchronous engine per logical
@@ -261,6 +280,45 @@ func DelayModels(g *Graph) map[string]DelayModel { return sim.AllDelayModels(g) 
 // shape instead of parsing a message (errors.As-able).
 type StuckError = sim.StuckError
 
+// FaultInjector is the countdown-budget / seeded-rate fault schedule
+// shared by the store's chaos filesystem and the sharded engine's
+// transport: arm a category ("transport.drop", a ShardCrashCat(s), ...)
+// with a budget or a rate, and the consumer trips it per operation.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector returns an all-pass injector whose rate draws are
+// reproducible from seed.
+var NewFaultInjector = faults.New
+
+// Shard transport fault categories, and the derived per-shard /
+// per-link category constructors.
+const (
+	ShardFaultDrop    = shard.FaultDrop
+	ShardFaultDup     = shard.FaultDup
+	ShardFaultReorder = shard.FaultReorder
+	ShardFaultDelay   = shard.FaultDelay
+)
+
+var (
+	// ShardCrashCat names the whole-shard crash category of shard s.
+	ShardCrashCat = shard.CrashCat
+	// ShardCutCat names the one-way link partition category a→b.
+	ShardCutCat = shard.CutCat
+	// SeededShardChaos builds a replayable moderate-chaos schedule:
+	// drop/dup/reorder/delay rates plus seed-chosen crashes.
+	SeededShardChaos = shard.SeededChaos
+)
+
+// ShardStats reports a sharded run's fault-tolerance economics:
+// crashes observed, recoveries completed, total replay time, data
+// resends. Returned on Result.ShardStats when Options.Shards > 1.
+type ShardStats = shard.Stats
+
+// ShardStuckError reports that a fault schedule made progress
+// impossible (exchange timeout or restart budget exhausted). It wraps
+// a *StuckError, so errors.As reaches both types.
+type ShardStuckError = shard.ShardStuckError
+
 // Result reports an election outcome.
 type Result struct {
 	Leader     int     // sim id of the elected node
@@ -277,6 +335,10 @@ type Result struct {
 	// between the fastest node and the slowest undecided one.
 	VirtualTime float64
 	MaxSkew     int
+
+	// ShardStats carries the sharded engine's crash/recovery accounting
+	// (Options.Shards > 1 only; nil otherwise).
+	ShardStats *ShardStats
 }
 
 func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result, error) {
@@ -291,6 +353,7 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 	var res *sim.Result
 	var err error
 	virtualTime, maxSkew := 0.0, 0
+	var shardStats *ShardStats
 	switch {
 	case o.Async:
 		var ar *sim.AsyncResult
@@ -303,6 +366,12 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 		res, err = sim.RunConcurrent(s.table(), g, f, maxRounds, o.Wire)
 	case o.Engine == SimSequential:
 		res, err = sim.RunSequential(s.table(), g, f, maxRounds)
+	case o.Shards > 1:
+		opt := shard.Options{Shards: o.Shards, MaxRounds: maxRounds, Seed: o.ShardSeed}
+		if o.ShardFaults != nil {
+			opt.Transport = shard.NewFaultTransport(shard.NewChanTransport(o.Shards), o.ShardFaults)
+		}
+		res, shardStats, err = shard.RunCtx(ctx, s.table(), g, f, opt)
 	default:
 		res, err = sim.RunBSPCtx(ctx, s.table(), g, f, maxRounds, o.Workers)
 	}
@@ -319,6 +388,7 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 		Messages: res.Messages, WireBits: res.WireBits,
 		ClassViews:  res.ClassViews,
 		VirtualTime: virtualTime, MaxSkew: maxSkew,
+		ShardStats: shardStats,
 	}, nil
 }
 

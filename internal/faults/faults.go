@@ -1,0 +1,191 @@
+// Package faults is the countdown-budget fault-injection core shared by
+// the chaos harnesses: store.FaultFS drives it against the persistent
+// cache's filesystem and shard.FaultTransport against the sharded BSP
+// engine's boundary exchange, so storage chaos and compute chaos are
+// specified and logged in one vocabulary.
+//
+// Faults are organized by category (a free-form string such as
+// "write.fail" or "transport.drop"). Each operation that *could* fail
+// calls Trip(category); the injector decides, deterministically where
+// possible, whether the fault fires:
+//
+//   - a countdown budget (Arm / ArmAfter) trips the next n matching
+//     operations, optionally after letting a prefix pass — "the first
+//     two writes fail, then the disk heals" without sleeping or racing;
+//   - a rate (SetRate) additionally trips each operation with a fixed
+//     probability drawn from the injector's seeded generator, so a
+//     whole schedule replays from one logged seed.
+//
+// Every operation is counted per category and every injection is
+// logged, so a failing chaos run can print exactly which schedule it
+// executed (String, Events).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event records one injected fault: the category and the ordinal of the
+// operation (1-based, within the category) that it hit.
+type Event struct {
+	Category string
+	Op       int
+}
+
+// maxEvents bounds the injection log; chaos schedules that trip more
+// faults than this keep counting but stop logging individual events.
+const maxEvents = 4096
+
+// category is the per-category schedule and counters.
+type category struct {
+	skip   int     // operations to let pass before the budget engages
+	budget int     // operations to trip once engaged
+	rate   float64 // additional per-operation Bernoulli probability
+	ops    int     // operations observed
+	hits   int     // faults injected
+}
+
+// Injector decides, per operation, whether a fault fires. It is safe
+// for concurrent use. The zero value is not usable; construct with New.
+type Injector struct {
+	mu     sync.Mutex
+	seed   int64
+	rng    *rand.Rand
+	cats   map[string]*category
+	events []Event
+}
+
+// New returns an Injector whose probabilistic decisions are driven by a
+// generator seeded with seed, so a schedule is replayable from the seed
+// alone (budgets are deterministic regardless).
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed)), cats: map[string]*category{}}
+}
+
+// Seed returns the seed the injector was constructed with — the value a
+// chaos harness logs so a failure replays.
+func (in *Injector) Seed() int64 { return in.seed }
+
+func (in *Injector) cat(name string) *category {
+	c := in.cats[name]
+	if c == nil {
+		c = &category{}
+		in.cats[name] = c
+	}
+	return c
+}
+
+// Arm makes the next n operations of the category trip (replacing any
+// previous budget; n = 0 disarms). Counters are preserved.
+func (in *Injector) Arm(category string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.cat(category)
+	c.skip, c.budget = 0, n
+}
+
+// ArmAfter lets the next skip operations of the category pass, then
+// trips the n after them — "crash the shard at its 17th transport op"
+// is ArmAfter("crash.2", 16, 1).
+func (in *Injector) ArmAfter(category string, skip, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.cat(category)
+	c.skip, c.budget = skip, n
+}
+
+// SetRate additionally trips each operation of the category with
+// probability p, drawn from the injector's seeded generator.
+func (in *Injector) SetRate(category string, p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cat(category).rate = p
+}
+
+// Trip records one operation of the category and reports whether the
+// schedule injects a fault into it.
+func (in *Injector) Trip(category string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.cat(category)
+	c.ops++
+	trip := false
+	switch {
+	case c.skip > 0:
+		c.skip--
+	case c.budget > 0:
+		c.budget--
+		trip = true
+	}
+	if !trip && c.rate > 0 && in.rng.Float64() < c.rate {
+		trip = true
+	}
+	if trip {
+		c.hits++
+		if len(in.events) < maxEvents {
+			in.events = append(in.events, Event{Category: category, Op: c.ops})
+		}
+	}
+	return trip
+}
+
+// Ops returns the number of operations observed for the category.
+func (in *Injector) Ops(category string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c := in.cats[category]; c != nil {
+		return c.ops
+	}
+	return 0
+}
+
+// Hits returns the number of faults injected into the category.
+func (in *Injector) Hits(category string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c := in.cats[category]; c != nil {
+		return c.hits
+	}
+	return 0
+}
+
+// Events returns a copy of the injection log in injection order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// String renders the schedule and its counters in one line, category
+// names sorted — what a chaos test logs next to the seed.
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.cats))
+	for name := range in.cats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults[seed=%d", in.seed)
+	for _, name := range names {
+		c := in.cats[name]
+		fmt.Fprintf(&b, " %s:", name)
+		sep := ""
+		if c.skip > 0 || c.budget > 0 {
+			fmt.Fprintf(&b, "after=%d,n=%d", c.skip, c.budget)
+			sep = ","
+		}
+		if c.rate > 0 {
+			fmt.Fprintf(&b, "%srate=%g", sep, c.rate)
+			sep = ","
+		}
+		fmt.Fprintf(&b, "%shits=%d/%d", sep, c.hits, c.ops)
+	}
+	b.WriteString("]")
+	return b.String()
+}

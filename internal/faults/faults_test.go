@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBudgetCountdown(t *testing.T) {
+	in := New(1)
+	in.Arm("op", 2)
+	got := []bool{in.Trip("op"), in.Trip("op"), in.Trip("op")}
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("trip %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if in.Ops("op") != 3 || in.Hits("op") != 2 {
+		t.Errorf("ops/hits = %d/%d, want 3/2", in.Ops("op"), in.Hits("op"))
+	}
+}
+
+func TestArmAfterSkipsPrefix(t *testing.T) {
+	in := New(1)
+	in.ArmAfter("op", 2, 1)
+	want := []bool{false, false, true, false}
+	for i, w := range want {
+		if got := in.Trip("op"); got != w {
+			t.Errorf("trip %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestArmReplacesBudget(t *testing.T) {
+	in := New(1)
+	in.Arm("op", 5)
+	in.Arm("op", 0) // disarm
+	if in.Trip("op") {
+		t.Error("disarmed category tripped")
+	}
+	in.Arm("op", 1)
+	if !in.Trip("op") || in.Trip("op") {
+		t.Error("re-armed budget did not trip exactly once")
+	}
+}
+
+func TestCategoriesAreIndependent(t *testing.T) {
+	in := New(1)
+	in.Arm("a", 1)
+	if in.Trip("b") {
+		t.Error("category b tripped off category a's budget")
+	}
+	if !in.Trip("a") {
+		t.Error("category a did not trip")
+	}
+}
+
+func TestRateIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.SetRate("drop", 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Trip("drop")
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	hits := 0
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("rate 0.3 over 200 ops hit %d times", hits)
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical schedule")
+	}
+}
+
+func TestEventsRecordOrdinals(t *testing.T) {
+	in := New(1)
+	in.ArmAfter("x", 1, 2)
+	for i := 0; i < 4; i++ {
+		in.Trip("x")
+	}
+	ev := in.Events()
+	if len(ev) != 2 || ev[0] != (Event{"x", 2}) || ev[1] != (Event{"x", 3}) {
+		t.Errorf("events = %v, want [{x 2} {x 3}]", ev)
+	}
+}
+
+func TestStringRendersSchedule(t *testing.T) {
+	in := New(7)
+	in.ArmAfter("b.crash", 3, 1)
+	in.SetRate("a.drop", 0.25)
+	in.Trip("a.drop")
+	s := in.String()
+	for _, frag := range []string{"seed=7", "a.drop:", "b.crash:", "after=3,n=1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+	if strings.Index(s, "a.drop") > strings.Index(s, "b.crash") {
+		t.Errorf("String() categories not sorted: %q", s)
+	}
+}
+
+func TestConcurrentTrips(t *testing.T) {
+	in := New(1)
+	in.Arm("op", 100)
+	in.SetRate("op", 0.1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				in.Trip("op")
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Ops("op") != 2000 {
+		t.Errorf("ops = %d, want 2000", in.Ops("op"))
+	}
+	if in.Hits("op") < 100 {
+		t.Errorf("hits = %d, want >= 100 (budget alone)", in.Hits("op"))
+	}
+}

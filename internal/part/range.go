@@ -1,0 +1,345 @@
+package part
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RangeRefiner is the shard-local form of Refiner: it refines only the
+// nodes of a contiguous range [lo, hi) of g, treating neighbors outside
+// the range as ghosts whose class identity arrives from other shards
+// each round. The local recurrence is exactly Refiner's, except that
+// the "neighbor class" key of port j is supplied by the caller in a
+// single canonical key space shared by local classes and ghosts —
+// in the sharded engine, compact renumberings of the interned view ids
+// that cross the wire. With canonical keys, two local nodes land in the
+// same local class at depth l iff they are in the same *global* class
+// at depth l (pinned by TestRangeRefinerMatchesGlobal), so the local
+// partition is the global one restricted to the shard, classes numbered
+// by first occurrence in local node order.
+type RangeRefiner struct {
+	lo   int // first global node id of the range
+	size int // number of local nodes
+
+	// CSR over the range in local-port order. nbr[e] < size is a local
+	// node index; nbr[e] >= size is size + ghost slot.
+	off []int32
+	nbr []int32
+	rp  []int32
+
+	ghosts []int32 // ascending global ids of out-of-range neighbors
+
+	class []int32 // class[i] of local node lo+i at the current depth
+	next  []int32
+	k     int
+	depth int
+
+	order []int32
+	start []int32
+
+	// Split scratch, as in Refiner; mark/subID are sized for the largest
+	// key Step may see: a canonical key (< size+len(ghosts)) or a remote
+	// port number.
+	mark  []int
+	subID []int32
+	stamp int
+	cnt   []int32
+	grp   []int32
+	grp2  []int32
+	buf   []int32
+	bufG  []int32
+	ren   []int32
+
+	// Current Step's key tables, consulted by splitBy.
+	ck []int32
+	gk []int32
+}
+
+// NewRangeRefiner starts shard-local refinement of g over [lo, hi) at
+// depth 0 (classes = degrees, numbered by first local occurrence).
+func NewRangeRefiner(g *graph.Graph, lo, hi int) *RangeRefiner {
+	if lo < 0 || hi > g.N() || lo >= hi {
+		panic(fmt.Sprintf("part: bad shard range [%d,%d) over n=%d", lo, hi, g.N()))
+	}
+	size := hi - lo
+	r := &RangeRefiner{lo: lo, size: size}
+	r.off = make([]int32, size+1)
+	total := 0
+	for i := 0; i < size; i++ {
+		total += g.Deg(lo + i)
+		r.off[i+1] = int32(total)
+	}
+	r.nbr = make([]int32, total)
+	r.rp = make([]int32, total)
+
+	// Collect the ghost set first so slots ascend by global id — the
+	// deterministic order both endpoints of a boundary exchange compute.
+	ghostSlot := map[int32]int32{}
+	for i := 0; i < size; i++ {
+		for p := 0; p < g.Deg(lo+i); p++ {
+			if to := g.At(lo+i, p).To; to < lo || to >= hi {
+				ghostSlot[int32(to)] = 0
+			}
+		}
+	}
+	r.ghosts = make([]int32, 0, len(ghostSlot))
+	for id := range ghostSlot {
+		r.ghosts = append(r.ghosts, id)
+	}
+	sort.Slice(r.ghosts, func(a, b int) bool { return r.ghosts[a] < r.ghosts[b] })
+	for s, id := range r.ghosts {
+		ghostSlot[id] = int32(s)
+	}
+
+	maxRP := 0
+	idx := 0
+	for i := 0; i < size; i++ {
+		for p := 0; p < g.Deg(lo+i); p++ {
+			h := g.At(lo+i, p)
+			if h.To >= lo && h.To < hi {
+				r.nbr[idx] = int32(h.To - lo)
+			} else {
+				r.nbr[idx] = int32(size) + ghostSlot[int32(h.To)]
+			}
+			r.rp[idx] = int32(h.RemotePort)
+			if h.RemotePort > maxRP {
+				maxRP = h.RemotePort
+			}
+			idx++
+		}
+	}
+
+	r.class = make([]int32, size)
+	r.next = make([]int32, size)
+	r.order = make([]int32, size)
+	r.start = make([]int32, size+2)
+	keyMax := size + len(r.ghosts)
+	if maxRP+1 > keyMax {
+		keyMax = maxRP + 1
+	}
+	r.mark = make([]int, keyMax+1)
+	r.subID = make([]int32, keyMax+1)
+	r.cnt = make([]int32, size+1)
+	r.grp = make([]int32, size)
+	r.grp2 = make([]int32, size)
+	r.buf = make([]int32, size)
+	r.bufG = make([]int32, size)
+	r.ren = make([]int32, size+1)
+
+	// Depth 0: classes are degrees, numbered by first local occurrence.
+	// Degree ↔ depth-0 view is a bijection, so degree grouping already
+	// agrees with canonical-key grouping and no keys are needed.
+	r.stamp++
+	k := 0
+	for i := 0; i < size; i++ {
+		d := int(r.off[i+1] - r.off[i])
+		if d > keyMax {
+			// A degree beyond keyMax cannot happen: every neighbor of a
+			// local node is a local node or a ghost, so deg <= keyMax.
+			panic("part: range degree exceeds key bound")
+		}
+		if r.mark[d] != r.stamp {
+			r.mark[d] = r.stamp
+			r.subID[d] = int32(k)
+			k++
+		}
+		r.class[i] = r.subID[d]
+	}
+	r.k = k
+	r.regroup()
+	return r
+}
+
+// Lo returns the first global node id of the range.
+func (r *RangeRefiner) Lo() int { return r.lo }
+
+// Size returns the number of local nodes.
+func (r *RangeRefiner) Size() int { return r.size }
+
+// Depth returns the current refinement depth.
+func (r *RangeRefiner) Depth() int { return r.depth }
+
+// NumClasses returns the number of local classes at the current depth.
+func (r *RangeRefiner) NumClasses() int { return r.k }
+
+// ClassOf returns the class of local node i (global id lo+i).
+func (r *RangeRefiner) ClassOf(i int) int { return int(r.class[i]) }
+
+// Ghosts returns the ascending global node ids of the out-of-range
+// neighbors — slot s of every ghost-key table passed to Step refers to
+// Ghosts()[s]. Callers must not mutate the returned slice.
+func (r *RangeRefiner) Ghosts() []int32 { return r.ghosts }
+
+// Representative returns the global node id of the smallest local node
+// in class c at the current depth.
+func (r *RangeRefiner) Representative(c int) int { return r.lo + int(r.order[r.start[c]]) }
+
+// Members returns the local node indices of class c at the current
+// depth, ascending. The slice aliases internal state and is valid only
+// until the next Step; callers must not mutate it.
+func (r *RangeRefiner) Members(c int) []int32 { return r.order[r.start[c]:r.start[c+1]] }
+
+// CopyClasses fills dst (grown as needed) with the per-local-node
+// classes at the current depth and returns it.
+func (r *RangeRefiner) CopyClasses(dst []int32) []int32 {
+	if cap(dst) < r.size {
+		dst = make([]int32, r.size)
+	}
+	dst = dst[:r.size]
+	copy(dst, r.class)
+	return dst
+}
+
+// PortEntry returns, for port j of local node i, the local neighbor
+// index (ghost slots appear as size+slot) and the remote port — what an
+// engine needs to materialize the representative's view from its
+// neighbors' views.
+func (r *RangeRefiner) PortEntry(i, j int) (nbr int32, remotePort int32) {
+	e := r.off[i] + int32(j)
+	return r.nbr[e], r.rp[e]
+}
+
+func (r *RangeRefiner) regroup() {
+	for c := 0; c <= r.k; c++ {
+		r.start[c] = 0
+	}
+	for i := 0; i < r.size; i++ {
+		r.start[r.class[i]+1]++
+	}
+	for c := 0; c < r.k; c++ {
+		r.start[c+1] += r.start[c]
+	}
+	copy(r.cnt[:r.k], r.start[:r.k])
+	for i := 0; i < r.size; i++ {
+		c := r.class[i]
+		r.order[r.cnt[c]] = int32(i)
+		r.cnt[c]++
+	}
+}
+
+// Step advances refinement one depth. classKey[c] is the canonical key
+// of local class c at the current depth and ghostKey[s] the canonical
+// key of ghost slot s; both must live in one key space with values
+// below Size()+len(Ghosts()) — the engine assigns them by first
+// occurrence of the interned depth-l view id over (classes, ghosts).
+// With canonical keys, splitting by (remote port, neighbor key) per
+// port is exactly the global recurrence restricted to the range.
+func (r *RangeRefiner) Step(classKey, ghostKey []int32) {
+	if len(classKey) < r.k || len(ghostKey) < len(r.ghosts) {
+		panic(fmt.Sprintf("part: Step keys too short: %d/%d classes, %d/%d ghosts",
+			len(classKey), r.k, len(ghostKey), len(r.ghosts)))
+	}
+	r.ck, r.gk = classKey, ghostKey
+	prov := 0
+	for c := 0; c < r.k; c++ {
+		lo, hi := int(r.start[c]), int(r.start[c+1])
+		if hi-lo == 1 {
+			r.next[r.order[lo]] = int32(prov)
+			prov++
+			continue
+		}
+		i0 := r.order[lo]
+		d := int(r.off[i0+1] - r.off[i0])
+		for i := lo; i < hi; i++ {
+			r.grp[i] = 0
+		}
+		nsub := 1
+		for j := 0; j < d && nsub < hi-lo; j++ {
+			nsub = r.splitBy(lo, hi, j, true)
+			if nsub < hi-lo {
+				nsub = r.splitBy(lo, hi, j, false)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if i > lo && r.grp[i] != r.grp[i-1] {
+				prov++
+			}
+			r.next[r.order[i]] = int32(prov)
+		}
+		prov++
+	}
+	r.ck, r.gk = nil, nil
+
+	for p := 0; p < prov; p++ {
+		r.ren[p] = -1
+	}
+	newK := 0
+	for i := 0; i < r.size; i++ {
+		p := r.next[i]
+		if r.ren[p] < 0 {
+			r.ren[p] = int32(newK)
+			newK++
+		}
+		r.class[i] = r.ren[p]
+	}
+	r.k = newK
+	r.depth++
+	r.regroup()
+}
+
+// splitBy mirrors Refiner.splitBy with the neighbor-class key resolved
+// through the caller's canonical key tables.
+func (r *RangeRefiner) splitBy(lo, hi, j int, byKey bool) int {
+	newN := 0
+	for a := lo; a < hi; {
+		b := a + 1
+		for b < hi && r.grp[b] == r.grp[a] {
+			b++
+		}
+		if b-a == 1 {
+			r.grp2[a] = int32(newN)
+			newN++
+			a = b
+			continue
+		}
+		r.stamp++
+		base := newN
+		for i := a; i < b; i++ {
+			e := r.off[r.order[i]] + int32(j)
+			var kv int32
+			if byKey {
+				if u := r.nbr[e]; u < int32(r.size) {
+					kv = r.ck[r.class[u]]
+				} else {
+					kv = r.gk[u-int32(r.size)]
+				}
+			} else {
+				kv = r.rp[e]
+			}
+			if r.mark[kv] != r.stamp {
+				r.mark[kv] = r.stamp
+				r.subID[kv] = int32(newN)
+				newN++
+			}
+			r.grp2[i] = r.subID[kv]
+		}
+		if newN-base > 1 {
+			for t := 0; t < newN-base; t++ {
+				r.cnt[t] = 0
+			}
+			for i := a; i < b; i++ {
+				r.cnt[int(r.grp2[i])-base]++
+			}
+			sum := int32(a)
+			for t := 0; t < newN-base; t++ {
+				c := r.cnt[t]
+				r.cnt[t] = sum
+				sum += c
+			}
+			for i := a; i < b; i++ {
+				t := int(r.grp2[i]) - base
+				p := r.cnt[t]
+				r.cnt[t]++
+				r.buf[p] = r.order[i]
+				r.bufG[p] = r.grp2[i]
+			}
+			copy(r.order[a:b], r.buf[a:b])
+			copy(r.grp2[a:b], r.bufG[a:b])
+		}
+		a = b
+	}
+	copy(r.grp[lo:hi], r.grp2[lo:hi])
+	return newN
+}

@@ -1,0 +1,164 @@
+package part
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// rangeTestGraphs is a spread of families with boundary-heavy shard
+// cuts: symmetric, asymmetric, high-degree and long-diameter.
+func rangeTestGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ring12":   graph.Ring(12),
+		"path9":    graph.Path(9),
+		"grid45":   graph.Grid(4, 5),
+		"hyper4":   graph.Hypercube(4),
+		"torus44":  graph.Torus(4, 4),
+		"random40": graph.RandomConnected(40, 30, 7),
+		"random65": graph.RandomConnected(65, 80, 3),
+		"shuffled": graph.ShufflePorts(graph.RandomConnected(40, 30, 7), 99),
+		"star1x8":  graph.Star(8),
+		"lollipop": graph.Lollipop(5, 6),
+		"broom":    graph.Broom(3, 5),
+	}
+}
+
+// cutRanges splits n into parts contiguous ranges of near-equal size.
+func cutRanges(n, parts int) [][2]int {
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, parts)
+	for s := 0; s < parts; s++ {
+		out[s] = [2]int{s * n / parts, (s + 1) * n / parts}
+	}
+	return out
+}
+
+// TestRangeRefinerMatchesGlobal drives every shard's RangeRefiner with
+// canonical keys derived from the *global* refiner's class ids — the
+// role interned view ids play in the sharded engine — and asserts that
+// at every depth the local partition is exactly the global partition
+// restricted to the range, renumbered by first local occurrence.
+func TestRangeRefinerMatchesGlobal(t *testing.T) {
+	for name, g := range rangeTestGraphs() {
+		for _, parts := range []int{2, 3, 5} {
+			n := g.N()
+			ranges := cutRanges(n, parts)
+			global := NewRefiner(g)
+			locals := make([]*RangeRefiner, len(ranges))
+			for s, rg := range ranges {
+				locals[s] = NewRangeRefiner(g, rg[0], rg[1])
+			}
+
+			depths := 2*n + 4 // past stabilization for every family here
+			for depth := 0; depth <= depths; depth++ {
+				for s, rr := range locals {
+					lo := ranges[s][0]
+					// Renumber the global classes seen by this shard
+					// (its own classes first, then its ghosts) into the
+					// compact canonical key space Step requires.
+					compact := map[int]int32{}
+					assign := func(gc int) int32 {
+						key, ok := compact[gc]
+						if !ok {
+							key = int32(len(compact))
+							compact[gc] = key
+						}
+						return key
+					}
+					classKey := make([]int32, rr.NumClasses())
+					for c := range classKey {
+						classKey[c] = assign(global.ClassOf(rr.Representative(c)))
+					}
+					ghostKey := make([]int32, len(rr.Ghosts()))
+					for gi, id := range rr.Ghosts() {
+						ghostKey[gi] = assign(global.ClassOf(int(id)))
+					}
+
+					// Local classes must be the restricted global ones.
+					ren := map[int]int{}
+					for i := 0; i < rr.Size(); i++ {
+						gc := global.ClassOf(lo + i)
+						want, ok := ren[gc]
+						if !ok {
+							want = len(ren)
+							ren[gc] = want
+						}
+						if got := rr.ClassOf(i); got != want {
+							t.Fatalf("%s parts=%d depth=%d shard=%d node=%d: local class %d, want %d",
+								name, parts, depth, s, lo+i, got, want)
+						}
+					}
+					if rr.NumClasses() != len(ren) {
+						t.Fatalf("%s parts=%d depth=%d shard=%d: %d local classes, want %d",
+							name, parts, depth, s, rr.NumClasses(), len(ren))
+					}
+					for c := 0; c < rr.NumClasses(); c++ {
+						rep := rr.Representative(c)
+						for _, i := range rr.Members(c) {
+							if lo+int(i) < rep {
+								t.Fatalf("%s parts=%d depth=%d shard=%d: member %d below representative %d",
+									name, parts, depth, s, lo+int(i), rep)
+							}
+						}
+					}
+
+					if depth < depths {
+						rr.Step(classKey, ghostKey)
+					}
+				}
+				if depth < depths {
+					global.Step()
+				}
+			}
+		}
+	}
+}
+
+// TestRangeRefinerGhostsAscend pins the deterministic ghost order both
+// endpoints of a boundary exchange rely on.
+func TestRangeRefinerGhostsAscend(t *testing.T) {
+	g := graph.RandomConnected(50, 60, 5)
+	rr := NewRangeRefiner(g, 10, 30)
+	ghosts := rr.Ghosts()
+	if len(ghosts) == 0 {
+		t.Fatal("range [10,30) of a connected graph has no ghosts")
+	}
+	for i := 1; i < len(ghosts); i++ {
+		if ghosts[i] <= ghosts[i-1] {
+			t.Fatalf("ghosts not strictly ascending at %d: %v", i, ghosts)
+		}
+	}
+	for _, id := range ghosts {
+		if id >= 10 && id < 30 {
+			t.Fatalf("in-range node %d listed as ghost", id)
+		}
+	}
+}
+
+// TestRangeRefinerWholeGraph checks the degenerate single-shard case:
+// with the whole graph as the range there are no ghosts, canonical keys
+// are the local class ids, and the refiner must reproduce Refiner.
+func TestRangeRefinerWholeGraph(t *testing.T) {
+	g := graph.RandomConnected(30, 25, 11)
+	global := NewRefiner(g)
+	rr := NewRangeRefiner(g, 0, g.N())
+	if len(rr.Ghosts()) != 0 {
+		t.Fatalf("whole-graph range has %d ghosts", len(rr.Ghosts()))
+	}
+	for depth := 0; depth < 40; depth++ {
+		for v := 0; v < g.N(); v++ {
+			if rr.ClassOf(v) != global.ClassOf(v) {
+				t.Fatalf("depth %d node %d: %d vs %d", depth, v, rr.ClassOf(v), global.ClassOf(v))
+			}
+		}
+		classKey := make([]int32, rr.NumClasses())
+		for c := range classKey {
+			classKey[c] = int32(c)
+		}
+		rr.Step(classKey, nil)
+		global.Step()
+	}
+}

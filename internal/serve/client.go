@@ -55,6 +55,10 @@ type Client struct {
 	// multiplied by a uniform jitter in [0.5, 1.5).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Seed drives the jitter source for clients built as struct
+	// literals (NewClient seeds the source directly). Two clients with
+	// the same seed draw the same jitter sequence.
+	Seed int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -63,7 +67,7 @@ type Client struct {
 // NewClient returns a Client for baseURL with deterministic jitter
 // seeded by seed (tests pin it; production callers can pass anything).
 func NewClient(baseURL string, seed int64) *Client {
-	return &Client{BaseURL: baseURL, rng: rand.New(rand.NewSource(seed))}
+	return &Client{BaseURL: baseURL, Seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -96,6 +100,11 @@ func (c *Client) backoff(i int, retryAfter time.Duration) time.Duration {
 		d = max
 	}
 	c.mu.Lock()
+	if c.rng == nil {
+		// Struct-literal clients never went through NewClient: seed the
+		// jitter source lazily instead of panicking on the first retry.
+		c.rng = rand.New(rand.NewSource(c.Seed))
+	}
 	jitter := 0.5 + c.rng.Float64()
 	c.mu.Unlock()
 	d = time.Duration(float64(d) * jitter)

@@ -494,3 +494,125 @@ func TestClientDoesNotRetryBadRequest(t *testing.T) {
 		t.Fatalf("422 retried %d times", calls.Load())
 	}
 }
+
+// TestBreakerHalfOpenRetryAfter pins the wait a shed request is told
+// while a half-open probe is in flight: the full cooldown, not the
+// remaining-open math (there is no openedAt to count from).
+func TestBreakerHalfOpenRetryAfter(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, 10*time.Second, func() time.Time { return now })
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker denied")
+	}
+	b.report(false) // threshold 1: trips immediately
+	now = now.Add(11 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("no probe after cooldown")
+	}
+	if b.current() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.current())
+	}
+	if ok, wait := b.allow(); ok || wait != 10*time.Second {
+		t.Fatalf("half-open with probe in flight: allow = (%v, %v), want (false, cooldown)", ok, wait)
+	}
+	// The failed probe reopens; the next shed reports the remaining
+	// cooldown again, counted from the reopen.
+	b.report(false)
+	if ok, wait := b.allow(); ok || wait <= 0 || wait > 10*time.Second {
+		t.Fatalf("reopened breaker: allow = (%v, %v)", ok, wait)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe races many goroutines at a breaker
+// whose cooldown just expired: exactly one must be admitted as the
+// probe, and after the probe closes the breaker the rest flow freely.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	b := newBreaker(1, time.Second, clock)
+	b.allow()
+	b.report(false)
+	mu.Lock()
+	now = now.Add(2 * time.Second)
+	mu.Unlock()
+
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ok, _ := b.allow(); ok {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open admitted %d probes, want 1", admitted.Load())
+	}
+	b.report(true)
+	if b.current() != breakerClosed {
+		t.Fatal("successful probe did not close")
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker denied after probe success")
+	}
+}
+
+// TestClientStructLiteralRetries pins the satellite fix: a Client built
+// as a struct literal (no NewClient, nil rng) must not panic on its
+// first backoff — the jitter source is seeded lazily from Seed.
+func TestClientStructLiteralRetries(t *testing.T) {
+	adv := bits.New("1011")
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(encodeWireResponse(2, adv, CacheHot, false)) //nolint:errcheck
+	}))
+	defer stub.Close()
+
+	c := &Client{BaseURL: stub.URL, BaseBackoff: time.Millisecond}
+	res, err := c.Advice(context.Background(), feasibleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phi != 2 || calls.Load() != 3 {
+		t.Fatalf("result %+v after %d calls", res, calls.Load())
+	}
+}
+
+// TestClientJitterSeedDeterminism: equal seeds draw equal jitter
+// sequences (whether seeded via NewClient or the Seed field), distinct
+// seeds draw distinct ones — chaos harnesses log the seed to replay a
+// schedule exactly.
+func TestClientJitterSeedDeterminism(t *testing.T) {
+	seq := func(c *Client) []time.Duration {
+		var ds []time.Duration
+		for i := 0; i < 8; i++ {
+			ds = append(ds, c.backoff(i, 0))
+		}
+		return ds
+	}
+	a := seq(NewClient("http://x", 7))
+	b := seq(&Client{Seed: 7})
+	other := seq(&Client{Seed: 8})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverges at draw %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 drew identical jitter sequences")
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -55,5 +56,64 @@ func TestEnginesHonorCancellation(t *testing.T) {
 	}
 	if _, err := RunAsyncCtx(ctx, tab, g, f, 1_000_000, 1, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("async: err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelOnDecide cancels the context the first time any node is asked
+// to decide at round >= 1 (idempotent), then never decides.
+type cancelOnDecide struct{ cancel context.CancelFunc }
+
+func (c *cancelOnDecide) Decide(r int, v *view.View) ([]int, bool) {
+	if r >= 1 {
+		c.cancel()
+	}
+	return nil, false
+}
+
+// TestAsyncCancelAtEventBoundary pins the asynchronous engine's
+// between-rounds cancellation checkpoint (every 8192 events). In a
+// clique a node reaches round r+1 only after nearly every round-r
+// message in the network has been delivered, so consecutive global
+// round advances — the other cancellation checkpoint — are ~2m > 8192
+// events apart. A cancel fired by the first round-1 decision must
+// therefore be caught by the event-count check, not a round advance:
+// the error says "canceled with", wraps ctx.Err(), and is not a
+// StuckError (the run died to the caller, not to the budget).
+func TestAsyncCancelAtEventBoundary(t *testing.T) {
+	g := graph.Clique(150) // 2m = 22350 events per round
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := func(simID, deg int) Decider { return &cancelOnDecide{cancel: cancel} }
+	res, err := RunAsyncCtx(ctx, view.NewTable(), g, f, 1_000_000, 1, nil)
+	if res != nil {
+		t.Fatal("canceled run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	var se *StuckError
+	if errors.As(err, &se) {
+		t.Fatalf("cancellation surfaced as StuckError: %+v", se)
+	}
+	if want := "canceled with"; !strings.Contains(err.Error(), want) {
+		t.Errorf("err %q does not contain %q (expected the 8192-event checkpoint, not a round advance)", err, want)
+	}
+}
+
+// TestAsyncCtxStuckErrorPropagates: a live context must not change the
+// failure typing — the budget trip through RunAsyncCtx is still the
+// errors.As-able *StuckError.
+func TestAsyncCtxStuckErrorPropagates(t *testing.T) {
+	g := graph.Path(3)
+	f := func(simID, deg int) Decider { return never{} }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunAsyncCtx(ctx, view.NewTable(), g, f, 5, 1, nil)
+	var se *StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("budget error through RunAsyncCtx is %T, want *StuckError", err)
+	}
+	if se.Quiesced || se.MaxRounds != 5 || se.Undecided != 3 {
+		t.Errorf("StuckError = %+v", se)
 	}
 }

@@ -1,0 +1,905 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// Options configures a sharded run. The zero value of every field has a
+// sensible default; only Shards is required (> 1).
+type Options struct {
+	// Shards is the number of contiguous node ranges (clamped to n).
+	// Shards <= 1 delegates to sim.RunBSPCtx.
+	Shards int
+	// Transport is the boundary data plane (default: an in-process
+	// ChanTransport; wrap it in FaultTransport for chaos).
+	Transport Transport
+	// Journal is the crash-surviving checkpoint store (default: a
+	// fresh MemJournal).
+	Journal Journal
+	// MaxRounds bounds the election (default sim.DefaultMaxRounds).
+	MaxRounds int
+	// RoundTimeout bounds one boundary exchange; a shard that cannot
+	// complete its exchange within it reports ShardStuckError
+	// (default 10s).
+	RoundTimeout time.Duration
+	// RetryBase and RetryMax shape the exponential backoff between
+	// data resends (defaults 200µs and 10ms); each wait is jittered by
+	// a seeded uniform factor in [0.5, 1.5).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// MaxRestarts bounds supervisor restarts across the run (default
+	// 16); beyond it the run fails with ShardStuckError.
+	MaxRestarts int
+	// Seed drives the retry jitter (chaos schedules are seeded
+	// separately, on the FaultTransport's injector).
+	Seed int64
+}
+
+func (o Options) maxRounds(g *graph.Graph) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return sim.DefaultMaxRounds(g)
+}
+
+func (o Options) roundTimeout() time.Duration {
+	if o.RoundTimeout > 0 {
+		return o.RoundTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o Options) retryBase() time.Duration {
+	if o.RetryBase > 0 {
+		return o.RetryBase
+	}
+	return 200 * time.Microsecond
+}
+
+func (o Options) retryMax() time.Duration {
+	if o.RetryMax > 0 {
+		return o.RetryMax
+	}
+	return 10 * time.Millisecond
+}
+
+func (o Options) maxRestarts() int {
+	if o.MaxRestarts > 0 {
+		return o.MaxRestarts
+	}
+	return 16
+}
+
+// Stats reports the run's fault-tolerance economics. Result.Messages
+// stays the paper's synchronous measure (2m per round, equal to
+// RunBSP's); the transport-level traffic and the recovery work live
+// here.
+type Stats struct {
+	Shards       int
+	Rounds       int           // final round (max decide round)
+	Crashes      int           // injected shard deaths observed
+	Recoveries   int           // replays completed by restarted shards
+	RecoveryTime time.Duration // total wall time spent replaying
+	Retries      int           // data messages resent beyond the first attempt
+}
+
+// MeanRecovery returns the average replay time per completed recovery.
+func (s *Stats) MeanRecovery() time.Duration {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return s.RecoveryTime / time.Duration(s.Recoveries)
+}
+
+// ShardStuckError reports that the fault schedule made progress
+// impossible: a shard's boundary exchange timed out, or the restart
+// budget ran out. It extends sim.StuckError — errors.As reaches the
+// embedded *sim.StuckError through Unwrap.
+type ShardStuckError struct {
+	Shard  int
+	Round  int
+	Reason string
+	Stuck  *sim.StuckError
+}
+
+func (e *ShardStuckError) Error() string {
+	return fmt.Sprintf("shard: shard %d stuck at round %d (%s): %v", e.Shard, e.Round, e.Reason, e.Stuck)
+}
+
+func (e *ShardStuckError) Unwrap() error {
+	if e.Stuck == nil {
+		return nil
+	}
+	return e.Stuck
+}
+
+// registry is the engine-lifetime map from interned view id to view —
+// only ids cross the wire, so a receiver resolves ghost ids through it.
+// Owners register a view before first sending its id, and the registry
+// survives shard crashes (it belongs to the supervisor, not to any
+// incarnation), so journaled ids always resolve after a restart.
+type registry struct {
+	mu sync.RWMutex
+	m  map[uint64]*view.View
+}
+
+func (r *registry) put(v *view.View) {
+	r.mu.Lock()
+	r.m[v.ID()] = v
+	r.mu.Unlock()
+}
+
+func (r *registry) get(id uint64) *view.View {
+	r.mu.RLock()
+	v := r.m[id]
+	r.mu.RUnlock()
+	return v
+}
+
+// Run executes the synchronous protocol sharded over opt.Shards ranges
+// and is observationally identical to sim.RunBSP on every input —
+// same Outputs, Rounds, Time and Messages — under any fault schedule
+// the run survives (ClassViews is per-process bookkeeping and is not
+// reproduced).
+func Run(tab *view.Table, g *graph.Graph, f sim.Factory, opt Options) (*sim.Result, *Stats, error) {
+	return RunCtx(context.Background(), tab, g, f, opt)
+}
+
+// control-plane message kinds (supervisor → worker).
+type ctrlKind uint8
+
+const (
+	ctrlProceed ctrlKind = iota + 1 // barrier for Round granted
+	ctrlStop                        // all nodes decided: exit cleanly
+	ctrlAbort                       // run failed elsewhere: exit now
+)
+
+type ctrlMsg struct {
+	kind  ctrlKind
+	round int
+}
+
+// report kinds (worker → supervisor).
+type reportKind uint8
+
+const (
+	reportRound     reportKind = iota + 1 // sweep of Round done
+	reportCrashed                         // incarnation died to an injected crash
+	reportRecovered                       // replay finished, shard is live again
+	reportErr                             // unrecoverable worker error
+)
+
+type report struct {
+	kind      reportKind
+	shard     int
+	round     int
+	decisions []Decision
+	remaining int           // local nodes still undecided
+	dur       time.Duration // reportRecovered: replay wall time
+	err       error         // reportErr
+}
+
+// engine is the state shared by the supervisor and every worker
+// incarnation.
+type engine struct {
+	g   *graph.Graph
+	tab *view.Table
+	f   sim.Factory
+	opt Options
+
+	tr     Transport
+	jr     Journal
+	reg    *registry
+	ranges [][2]int
+	// peers[s] lists, ascending, the shards s exchanges with;
+	// sendList[s][p] the ascending global ids of s's nodes adjacent to
+	// p's range — identically the ghost slots of p owned by s, so both
+	// endpoints agree on payload alignment without negotiation.
+	peers    [][]int
+	sendList []map[int][]int32
+
+	reports chan report
+	ctrl    []chan ctrlMsg
+	// halted is the engine-wide kill switch (0 running, else the
+	// ctrlKind): checked by every worker poll, so shutdown cannot be
+	// missed even if a control channel is full.
+	halted  atomic.Int32
+	retries atomic.Int64
+}
+
+// errHalt is the worker-internal "shut down cleanly" sentinel.
+var errHalt = fmt.Errorf("shard: halted")
+
+// RunCtx is Run with cancellation: the supervisor aborts every worker
+// at the next control-plane touch once ctx is done.
+func RunCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f sim.Factory, opt Options) (*sim.Result, *Stats, error) {
+	n := g.N()
+	shards := opt.Shards
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		res, err := sim.RunBSPCtx(ctx, tab, g, f, opt.maxRounds(g), 0)
+		var stats *Stats
+		if res != nil {
+			stats = &Stats{Shards: 1, Rounds: res.Time}
+		}
+		return res, stats, err
+	}
+
+	e := &engine{g: g, tab: tab, f: f, opt: opt, tr: opt.Transport, jr: opt.Journal,
+		reg: &registry{m: map[uint64]*view.View{}}}
+	if e.tr == nil {
+		e.tr = NewChanTransport(shards)
+	}
+	if e.jr == nil {
+		e.jr = NewMemJournal()
+	}
+	e.ranges = make([][2]int, shards)
+	for s := 0; s < shards; s++ {
+		e.ranges[s] = [2]int{s * n / shards, (s + 1) * n / shards}
+	}
+	own := make([]int, n)
+	for s := 0; s < shards; s++ {
+		for v := e.ranges[s][0]; v < e.ranges[s][1]; v++ {
+			own[v] = s
+		}
+	}
+	owner := func(v int) int { return own[v] }
+	// recvSets[p][o]: nodes of shard o that p's nodes neighbor — p's
+	// ghosts owned by o. sendList[o][p] is the same list.
+	recvSets := make([]map[int]map[int32]bool, shards)
+	for s := range recvSets {
+		recvSets[s] = map[int]map[int32]bool{}
+	}
+	for v := 0; v < n; v++ {
+		p := owner(v)
+		for j := 0; j < g.Deg(v); j++ {
+			u := g.At(v, j).To
+			if o := owner(u); o != p {
+				set := recvSets[p][o]
+				if set == nil {
+					set = map[int32]bool{}
+					recvSets[p][o] = set
+				}
+				set[int32(u)] = true
+			}
+		}
+	}
+	e.sendList = make([]map[int][]int32, shards)
+	e.peers = make([][]int, shards)
+	for s := range e.sendList {
+		e.sendList[s] = map[int][]int32{}
+	}
+	for p := 0; p < shards; p++ {
+		for o, set := range recvSets[p] {
+			list := make([]int32, 0, len(set))
+			for id := range set {
+				list = append(list, id)
+			}
+			sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+			e.sendList[o][p] = list
+		}
+		for o := range recvSets[p] {
+			e.peers[p] = append(e.peers[p], o)
+		}
+		sort.Ints(e.peers[p])
+	}
+
+	e.reports = make(chan report, 4*shards)
+	e.ctrl = make([]chan ctrlMsg, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		e.ctrl[s] = make(chan ctrlMsg, 128)
+		wg.Add(1)
+		go func(s int) { defer wg.Done(); e.runWorker(s, 0) }(s)
+	}
+
+	stats := &Stats{Shards: shards}
+	res := &sim.Result{Outputs: make([][]int, n), Rounds: make([]int, n)}
+	maxRounds := opt.maxRounds(g)
+	lastRound := make([]int, shards)
+	remainingBy := make([]int, shards)
+	barrier := map[int]int{} // round → shards reported
+	restarts := 0
+	highestGranted := -1
+	for s := range lastRound {
+		lastRound[s] = -1
+		remainingBy[s] = e.ranges[s][1] - e.ranges[s][0]
+	}
+
+	shutdown := func(kind ctrlKind) {
+		e.halted.Store(int32(kind))
+		for s := 0; s < shards; s++ {
+			// Best effort nudge; the halted flag is the authority.
+			select {
+			case e.ctrl[s] <- ctrlMsg{kind: kind}:
+			default:
+			}
+		}
+	}
+	finish := func(err error) (*sim.Result, *Stats, error) {
+		if err != nil {
+			shutdown(ctrlAbort)
+		}
+		// Drain reports while the workers wind down, or a worker blocked
+		// on a full reports channel could never observe the halt. Crash
+		// and recovery notices in flight at shutdown still count (a
+		// crash at the final barrier is a real crash; it just no longer
+		// needs a restart).
+		workersDone := make(chan struct{})
+		go func() { wg.Wait(); close(workersDone) }()
+	drain:
+		for {
+			select {
+			case rep := <-e.reports:
+				switch rep.kind {
+				case reportCrashed:
+					stats.Crashes++
+				case reportRecovered:
+					stats.Recoveries++
+					stats.RecoveryTime += rep.dur
+				}
+			case <-workersDone:
+				break drain
+			}
+		}
+		stats.Retries = int(e.retries.Load())
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, r := range res.Rounds {
+			if r > res.Time {
+				res.Time = r
+			}
+		}
+		stats.Rounds = res.Time
+		return res, stats, nil
+	}
+	globalStuck := func(shard, round int, reason string) error {
+		undecided := 0
+		for _, rem := range remainingBy {
+			undecided += rem
+		}
+		return &ShardStuckError{Shard: shard, Round: round, Reason: reason,
+			Stuck: &sim.StuckError{MaxRounds: maxRounds, Undecided: undecided, MinRound: round, MaxRound: round}}
+	}
+
+	for {
+		var rep report
+		select {
+		case <-ctx.Done():
+			res, stats, err := finish(fmt.Errorf("shard: run canceled: %w", ctx.Err()))
+			return res, stats, err
+		case rep = <-e.reports:
+		}
+		switch rep.kind {
+		case reportErr:
+			return finish(rep.err)
+		case reportCrashed:
+			stats.Crashes++
+			restarts++
+			if restarts > opt.maxRestarts() {
+				return finish(globalStuck(rep.shard, lastRound[rep.shard], fmt.Sprintf("restart budget of %d exhausted", opt.maxRestarts())))
+			}
+			e.tr.Reset(rep.shard)
+			wg.Add(1)
+			go func(s, inc int) { defer wg.Done(); e.runWorker(s, inc) }(rep.shard, restarts)
+		case reportRecovered:
+			stats.Recoveries++
+			stats.RecoveryTime += rep.dur
+		case reportRound:
+			if rep.round <= lastRound[rep.shard] {
+				// A restarted shard replaying its journal: the round is
+				// already counted; re-grant the barrier if it has
+				// already completed, else the live barrier covers it.
+				if rep.round <= highestGranted {
+					e.ctrl[rep.shard] <- ctrlMsg{kind: ctrlProceed, round: rep.round}
+				}
+				continue
+			}
+			for _, d := range rep.decisions {
+				res.Outputs[d.Node] = d.Output
+				res.Rounds[d.Node] = d.Round
+			}
+			lastRound[rep.shard] = rep.round
+			remainingBy[rep.shard] = rep.remaining
+			barrier[rep.round]++
+			if barrier[rep.round] < shards {
+				continue
+			}
+			delete(barrier, rep.round)
+			total := 0
+			for _, rem := range remainingBy {
+				total += rem
+			}
+			if total == 0 {
+				shutdown(ctrlStop)
+				return finish(nil)
+			}
+			if rep.round >= maxRounds {
+				return finish(fmt.Errorf("sim: %d nodes undecided after %d rounds", total, maxRounds))
+			}
+			res.Messages += 2 * g.M()
+			highestGranted = rep.round
+			for s := 0; s < shards; s++ {
+				e.ctrl[s] <- ctrlMsg{kind: ctrlProceed, round: rep.round}
+			}
+		}
+	}
+}
+
+// worker is one shard incarnation: the range's refiner, deciders, class
+// views and the boundary-protocol state. A fresh one is built per
+// restart; everything durable lives in the journal, the registry and
+// the interning table.
+type worker struct {
+	e    *engine
+	s    int
+	lo   int
+	size int
+	inc  int
+
+	rr        *part.RangeRefiner
+	deciders  []sim.Decider
+	done      []bool
+	remaining int
+
+	views     []*view.View
+	prevViews []*view.View
+	prevClass []int32
+	flat      []view.Edge
+	off       []int32
+	ck, gk    []int32
+	cpClass   []int32
+
+	ghostIDs   []uint64
+	ghostViews []*view.View
+	ghostSeg   map[int][2]int // peer → (first slot, count) of its ghosts
+
+	// pending[(round,peer)] marks boundary payloads already journaled,
+	// so exchanges consume journal-first and duplicates only re-ack.
+	pending map[[2]int][]uint64
+
+	// hwm is the highest round this shard has ever reported (across
+	// incarnations — seeded from the journal on restart). Peers can be
+	// in exchange R only after barrier R, which needs our report of R,
+	// so hwm bounds the round of any legitimate incoming data — a
+	// replaying shard must accept data up to hwm, not just up to the
+	// round it is currently replaying.
+	hwm int
+
+	seq uint64
+	rng *rand.Rand
+}
+
+func (e *engine) runWorker(s, incarnation int) {
+	w := &worker{e: e, s: s, inc: incarnation, lo: e.ranges[s][0], size: e.ranges[s][1] - e.ranges[s][0]}
+	defer func() {
+		if p := recover(); p != nil {
+			e.reports <- report{kind: reportErr, shard: s, err: fmt.Errorf("shard: shard %d panicked: %v", s, p)}
+		}
+	}()
+	w.init()
+	if err := w.run(); err != nil {
+		var crash *CrashError
+		if asCrash(err, &crash) {
+			e.reports <- report{kind: reportCrashed, shard: s}
+			return
+		}
+		e.reports <- report{kind: reportErr, shard: s, err: err}
+	}
+}
+
+// asCrash is errors.As without the reflection import weight.
+func asCrash(err error, out **CrashError) bool {
+	c, ok := err.(*CrashError)
+	if ok {
+		*out = c
+	}
+	return ok
+}
+
+func (w *worker) init() {
+	e := w.e
+	w.rr = part.NewRangeRefiner(e.g, w.lo, w.lo+w.size)
+	w.deciders = make([]sim.Decider, w.size)
+	for i := 0; i < w.size; i++ {
+		w.deciders[i] = e.f(w.lo+i, e.g.Deg(w.lo+i))
+	}
+	w.done = make([]bool, w.size)
+	w.remaining = w.size
+	w.views = make([]*view.View, w.size)
+	w.prevViews = make([]*view.View, w.size)
+	w.prevClass = make([]int32, w.size)
+	w.off = make([]int32, w.size+1)
+	flatCap := 0
+	for i := 0; i < w.size; i++ {
+		flatCap += e.g.Deg(w.lo + i)
+	}
+	w.flat = make([]view.Edge, 0, flatCap)
+	ghosts := w.rr.Ghosts()
+	w.ghostIDs = make([]uint64, len(ghosts))
+	w.ghostViews = make([]*view.View, len(ghosts))
+	w.ck = make([]int32, w.size)
+	w.gk = make([]int32, len(ghosts))
+	w.ghostSeg = map[int][2]int{}
+	for _, p := range e.peers[w.s] {
+		first := sort.Search(len(ghosts), func(i int) bool { return int(ghosts[i]) >= e.ranges[p][0] })
+		last := sort.Search(len(ghosts), func(i int) bool { return int(ghosts[i]) >= e.ranges[p][1] })
+		w.ghostSeg[p] = [2]int{first, last - first}
+	}
+	w.pending = map[[2]int][]uint64{}
+	w.rng = rand.New(rand.NewSource(e.opt.Seed ^ int64(w.s)*0x9E3779B9 ^ int64(w.inc)<<32))
+
+	// Depth-0 class views: the interned leaves of the class degrees.
+	k := w.rr.NumClasses()
+	degs := make([]int, k)
+	for c := 0; c < k; c++ {
+		degs[c] = e.g.Deg(w.rr.Representative(c))
+	}
+	e.tab.LeafBatch(degs, w.views[:k])
+}
+
+// run replays the journal (rounds with checkpoints) and then runs live.
+// Replay and live rounds share one loop: a replayed round's exchange is
+// served from journaled ghosts and its barrier re-granted by the
+// supervisor, so recovery is the live protocol with every wait a cache
+// hit.
+func (w *worker) run() error {
+	recs, ghosts := w.e.jr.Restore(w.s)
+	for _, gr := range ghosts {
+		w.pending[[2]int{gr.Round, gr.Peer}] = gr.IDs
+	}
+	replayTo := len(recs)
+	w.hwm = replayTo - 1
+	start := time.Now()
+	recovered := w.inc == 0
+	markRecovered := func() {
+		if !recovered {
+			recovered = true
+			w.e.reports <- report{kind: reportRecovered, shard: w.s, dur: time.Since(start)}
+		}
+	}
+	for r := 0; ; r++ {
+		if r == replayTo {
+			markRecovered()
+		}
+		decs := w.sweep(r)
+		if r < replayTo {
+			if err := w.validate(recs[r], decs); err != nil {
+				return err
+			}
+		}
+		w.checkpoint(r, decs)
+		if r > w.hwm {
+			w.hwm = r
+		}
+		w.e.reports <- report{kind: reportRound, shard: w.s, round: r, decisions: decs, remaining: w.remaining}
+		stop, err := w.barrier(r)
+		if err != nil {
+			return err
+		}
+		if stop {
+			// The run can complete while a restarted incarnation is
+			// still mid-replay (e.g. the crash hit an ack send at the
+			// final barrier, after the shard's last fresh report). The
+			// incarnation is restored as far as the run needed — count
+			// the recovery rather than leaving it forever in flight.
+			markRecovered()
+			return nil
+		}
+		if err := w.exchange(r, r >= replayTo-1); err != nil {
+			if err == errHalt {
+				markRecovered()
+				return nil
+			}
+			return err
+		}
+		if err := w.step(); err != nil {
+			return err
+		}
+	}
+}
+
+func (w *worker) sweep(r int) []Decision {
+	var decs []Decision
+	for i := 0; i < w.size; i++ {
+		if w.done[i] {
+			continue
+		}
+		out, ok := w.deciders[i].Decide(r, w.views[w.rr.ClassOf(i)])
+		if ok {
+			w.done[i] = true
+			w.remaining--
+			decs = append(decs, Decision{Node: w.lo + i, Round: r, Output: out})
+		}
+	}
+	return decs
+}
+
+// validate pins a replayed round to its checkpoint: a divergence means
+// the deciders are not deterministic (or the journal is corrupt), and
+// silently proceeding could publish different bits than the crashed
+// incarnation already reported.
+func (w *worker) validate(rec Record, decs []Decision) error {
+	if rec.Remaining != w.remaining || len(rec.Decided) != len(decs) {
+		return fmt.Errorf("shard: shard %d replay diverged at round %d: %d remaining / %d decisions, checkpoint has %d / %d",
+			w.s, rec.Round, w.remaining, len(decs), rec.Remaining, len(rec.Decided))
+	}
+	k := w.rr.NumClasses()
+	if len(rec.ViewIDs) != k {
+		return fmt.Errorf("shard: shard %d replay diverged at round %d: %d classes, checkpoint has %d",
+			w.s, rec.Round, k, len(rec.ViewIDs))
+	}
+	for c := 0; c < k; c++ {
+		if w.views[c].ID() != rec.ViewIDs[c] {
+			return fmt.Errorf("shard: shard %d replay diverged at round %d: class %d view id %d, checkpoint has %d",
+				w.s, rec.Round, c, w.views[c].ID(), rec.ViewIDs[c])
+		}
+	}
+	return nil
+}
+
+func (w *worker) checkpoint(r int, decs []Decision) {
+	k := w.rr.NumClasses()
+	ids := make([]uint64, k)
+	for c := 0; c < k; c++ {
+		ids[c] = w.views[c].ID()
+	}
+	w.cpClass = w.rr.CopyClasses(w.cpClass)
+	w.e.jr.Checkpoint(w.s, Record{Round: r, Class: w.cpClass, ViewIDs: ids, Decided: decs, Remaining: w.remaining})
+}
+
+// pollCtrl drains one control message if present. It returns stop=true
+// on ctrlStop/ctrlAbort or when the engine-wide halt flag is set; stale
+// proceeds (round < want, leftovers consumed by a dead incarnation's
+// successor) are dropped.
+func (w *worker) pollCtrl(want int) (proceed, stop bool) {
+	if w.e.halted.Load() != 0 {
+		return false, true
+	}
+	select {
+	case c := <-w.e.ctrl[w.s]:
+		switch c.kind {
+		case ctrlStop, ctrlAbort:
+			return false, true
+		case ctrlProceed:
+			if c.round >= want {
+				return true, false
+			}
+		}
+	default:
+	}
+	return false, false
+}
+
+// barrier waits for the supervisor to grant round r, servicing the
+// mailbox meanwhile: a peer still retrying an earlier round must get
+// its ack even though this shard has moved on, or a single dropped ack
+// would wedge both sides.
+func (w *worker) barrier(r int) (stop bool, err error) {
+	for {
+		proceed, stopped := w.pollCtrl(r)
+		if stopped {
+			return true, nil
+		}
+		if proceed {
+			return false, nil
+		}
+		if m, ok := w.e.tr.Recv(w.s, 200*time.Microsecond); ok {
+			if err := w.acceptData(m); err != nil {
+				return false, err
+			}
+		}
+	}
+}
+
+// acceptData journals and acks an incoming data message (duplicates
+// re-ack without re-journaling; journal strictly before ack, so acked
+// data survives a crash). The lockstep protocol permits senders to be
+// at most at this shard's report high-water mark.
+func (w *worker) acceptData(m Message) error {
+	if m.Kind != KindData {
+		return nil // stale ack
+	}
+	if m.Round > w.hwm {
+		return fmt.Errorf("shard: shard %d received round-%d data from shard %d with high-water mark %d", w.s, m.Round, m.From, w.hwm)
+	}
+	seg, ok := w.ghostSeg[m.From]
+	if !ok || len(m.Payload) != seg[1] {
+		return fmt.Errorf("shard: shard %d received malformed boundary payload from shard %d (%d ids, want %d)",
+			w.s, m.From, len(m.Payload), seg[1])
+	}
+	key := [2]int{m.Round, m.From}
+	if _, have := w.pending[key]; !have {
+		ids := append([]uint64(nil), m.Payload...)
+		w.e.jr.Ghosts(w.s, GhostRecord{Round: m.Round, Peer: m.From, IDs: ids})
+		w.pending[key] = ids
+	}
+	return w.send(Message{From: w.s, To: m.From, Kind: KindAck, Round: m.Round, Seq: m.Seq})
+}
+
+func (w *worker) send(m Message) error {
+	return w.e.tr.Send(m)
+}
+
+// exchange completes round r's boundary swap: every peer's ghost ids
+// journaled locally, and every outgoing payload acked. Journaled legs
+// (recovery, or data that arrived early during the barrier wait) are
+// served without touching the transport; live legs run the
+// seq/ack/retry protocol under the round deadline.
+func (w *worker) exchange(r int, live bool) error {
+	e := w.e
+	need := map[int]bool{}
+	for _, p := range e.peers[w.s] {
+		seg := w.ghostSeg[p]
+		if seg[1] == 0 {
+			continue
+		}
+		if ids, ok := w.pending[[2]int{r, p}]; ok {
+			copy(w.ghostIDs[seg[0]:seg[0]+seg[1]], ids)
+		} else {
+			need[p] = true
+		}
+	}
+	unacked := map[int][]uint64{}
+	if live {
+		for _, p := range e.peers[w.s] {
+			list := e.sendList[w.s][p]
+			if len(list) == 0 {
+				continue
+			}
+			payload := make([]uint64, len(list))
+			for i, id := range list {
+				v := w.views[w.rr.ClassOf(int(id)-w.lo)]
+				e.reg.put(v)
+				payload[i] = v.ID()
+			}
+			unacked[p] = payload
+		}
+	} else if len(need) > 0 {
+		return fmt.Errorf("shard: shard %d missing journaled ghosts for replayed round %d", w.s, r)
+	}
+
+	deadline := time.Now().Add(e.opt.roundTimeout())
+	nextSend := time.Now()
+	attempt := 0
+	for len(need) > 0 || len(unacked) > 0 {
+		if _, stop := w.pollCtrl(r + 1); stop {
+			return errHalt // aborted mid-exchange
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			return w.stuck(r, len(need)+len(unacked))
+		}
+		if !now.Before(nextSend) && len(unacked) > 0 {
+			for _, p := range e.peers[w.s] {
+				payload, ok := unacked[p]
+				if !ok {
+					continue
+				}
+				w.seq++
+				if err := w.send(Message{From: w.s, To: p, Kind: KindData, Round: r, Seq: w.seq, Payload: payload}); err != nil {
+					return err
+				}
+				if attempt > 0 {
+					e.retries.Add(1)
+				}
+			}
+			backoff := e.opt.retryBase() << uint(attempt)
+			if backoff > e.opt.retryMax() || backoff <= 0 {
+				backoff = e.opt.retryMax()
+			}
+			jitter := 0.5 + w.rng.Float64()
+			nextSend = now.Add(time.Duration(float64(backoff) * jitter))
+			attempt++
+		}
+		wait := 500 * time.Microsecond
+		if len(unacked) > 0 {
+			if until := time.Until(nextSend); until < wait {
+				wait = until
+			}
+		}
+		if wait <= 0 {
+			wait = 50 * time.Microsecond
+		}
+		m, ok := e.tr.Recv(w.s, wait)
+		if !ok {
+			continue
+		}
+		switch m.Kind {
+		case KindData:
+			if err := w.acceptData(m); err != nil {
+				return err
+			}
+			if m.Round == r && need[m.From] {
+				seg := w.ghostSeg[m.From]
+				copy(w.ghostIDs[seg[0]:seg[0]+seg[1]], w.pending[[2]int{r, m.From}])
+				delete(need, m.From)
+			}
+		case KindAck:
+			if m.Round == r {
+				delete(unacked, m.From)
+			}
+		}
+	}
+	return nil
+}
+
+func (w *worker) stuck(r, pendingLegs int) error {
+	stuck := &sim.StuckError{MaxRounds: w.e.opt.maxRounds(w.e.g), Undecided: w.remaining,
+		MinRound: r, MaxRound: r, Pending: pendingLegs}
+	for i := 0; i < w.size && len(stuck.Sample) < 4; i++ {
+		if !w.done[i] {
+			stuck.Sample = append(stuck.Sample, sim.StuckNode{Node: w.lo + i, Round: r})
+		}
+	}
+	return &ShardStuckError{Shard: w.s, Round: r,
+		Reason: fmt.Sprintf("boundary exchange timed out after %v", w.e.opt.roundTimeout()), Stuck: stuck}
+}
+
+// step advances the shard one depth: canonical keys from the interned
+// view ids (local classes first, then ghosts, by first occurrence),
+// range refinement, then one interned view per new class with children
+// read through the previous depth's classes and ghost views.
+func (w *worker) step() error {
+	e := w.e
+	k := w.rr.NumClasses()
+	ghosts := w.rr.Ghosts()
+	compact := map[uint64]int32{}
+	assign := func(id uint64) int32 {
+		key, ok := compact[id]
+		if !ok {
+			key = int32(len(compact))
+			compact[id] = key
+		}
+		return key
+	}
+	for c := 0; c < k; c++ {
+		w.ck[c] = assign(w.views[c].ID())
+	}
+	for s := range ghosts {
+		gv := e.reg.get(w.ghostIDs[s])
+		if gv == nil {
+			return fmt.Errorf("shard: shard %d cannot resolve ghost view id %d (node %d)", w.s, w.ghostIDs[s], ghosts[s])
+		}
+		w.ghostViews[s] = gv
+		w.gk[s] = assign(w.ghostIDs[s])
+	}
+
+	w.prevClass = w.rr.CopyClasses(w.prevClass)
+	w.prevViews, w.views = w.views, w.prevViews
+	w.rr.Step(w.ck[:k], w.gk)
+
+	k2 := w.rr.NumClasses()
+	w.flat = w.flat[:0]
+	for c := 0; c < k2; c++ {
+		i := w.rr.Representative(c) - w.lo
+		d := e.g.Deg(w.lo + i)
+		for j := 0; j < d; j++ {
+			nbr, rp := w.rr.PortEntry(i, j)
+			var child *view.View
+			if int(nbr) < w.size {
+				child = w.prevViews[w.prevClass[nbr]]
+			} else {
+				child = w.ghostViews[int(nbr)-w.size]
+			}
+			w.flat = append(w.flat, view.Edge{RemotePort: int(rp), Child: child})
+		}
+		w.off[c+1] = int32(len(w.flat))
+	}
+	e.tab.MakeBatch(w.flat, w.off[:k2+1], w.views[:k2])
+	return nil
+}

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+)
+
+// Decision is one node's election output, as journaled and as reported
+// to the supervisor.
+type Decision struct {
+	Node   int // global node id
+	Round  int
+	Output []int
+}
+
+// Record is one shard's checkpoint for one round, written after the
+// round's decide sweep and before the round is reported: the per-node
+// class ids at depth == Round, the interned view id of each class, the
+// decisions the sweep produced, and the frontier counter (local nodes
+// still undecided). A restarted shard replays its records from round 0
+// — deciders may be stateful, so recovery re-executes the sweeps rather
+// than resuming from a snapshot — and uses the checkpoints to validate
+// that the replay reproduced the crashed incarnation exactly.
+type Record struct {
+	Round     int
+	Class     []int32  // class of local node i at depth Round
+	ViewIDs   []uint64 // interned view id of class c at depth Round
+	Decided   []Decision
+	Remaining int // local nodes still undecided after the sweep
+}
+
+// GhostRecord is one peer's boundary payload for one round, journaled
+// *before* it is acked — acked data must survive a crash, because the
+// sender is now free to forget it.
+type GhostRecord struct {
+	Round int
+	Peer  int
+	IDs   []uint64 // aligned to the ghost slots owned by Peer, ascending
+}
+
+// Journal is a shard's crash-surviving store. Implementations must be
+// safe for concurrent use by different shards; Checkpoint is idempotent
+// per (shard, round) and Ghosts per (shard, round, peer).
+type Journal interface {
+	Checkpoint(shard int, rec Record)
+	Ghosts(shard int, gr GhostRecord)
+	// Restore returns the shard's checkpoints sorted by round and its
+	// ghost records in arrival order.
+	Restore(shard int) ([]Record, []GhostRecord)
+}
+
+// MemJournal is the in-process Journal. It deep-copies every slice on
+// write, so a crashed incarnation's buffers cannot alias the store —
+// the in-memory analogue of store's write-then-rename discipline.
+type MemJournal struct {
+	mu     sync.Mutex
+	recs   map[int]map[int]Record // shard → round → record
+	ghosts map[int][]GhostRecord
+}
+
+// NewMemJournal returns an empty journal.
+func NewMemJournal() *MemJournal {
+	return &MemJournal{recs: map[int]map[int]Record{}, ghosts: map[int][]GhostRecord{}}
+}
+
+func (j *MemJournal) Checkpoint(shard int, rec Record) {
+	cp := Record{
+		Round:     rec.Round,
+		Class:     append([]int32(nil), rec.Class...),
+		ViewIDs:   append([]uint64(nil), rec.ViewIDs...),
+		Remaining: rec.Remaining,
+	}
+	for _, d := range rec.Decided {
+		cp.Decided = append(cp.Decided, Decision{Node: d.Node, Round: d.Round, Output: append([]int(nil), d.Output...)})
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	byRound := j.recs[shard]
+	if byRound == nil {
+		byRound = map[int]Record{}
+		j.recs[shard] = byRound
+	}
+	byRound[rec.Round] = cp
+}
+
+func (j *MemJournal) Ghosts(shard int, gr GhostRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, have := range j.ghosts[shard] {
+		if have.Round == gr.Round && have.Peer == gr.Peer {
+			return // duplicate delivery: already durable
+		}
+	}
+	j.ghosts[shard] = append(j.ghosts[shard], GhostRecord{
+		Round: gr.Round, Peer: gr.Peer, IDs: append([]uint64(nil), gr.IDs...),
+	})
+}
+
+func (j *MemJournal) Restore(shard int) ([]Record, []GhostRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var recs []Record
+	for _, rec := range j.recs[shard] {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Round < recs[b].Round })
+	return recs, append([]GhostRecord(nil), j.ghosts[shard]...)
+}

@@ -1,0 +1,132 @@
+// Package shard runs the bulk-synchronous class-sharing engine across
+// shards that each own a contiguous node range of the graph's CSR and
+// exchange only boundary class identities per round — the partition,
+// not the views, crosses the wire. The data plane (Transport) is
+// allowed to be faulty: messages may be dropped, duplicated, reordered
+// or delayed, and whole shards may crash; a sequence/ack/retry protocol
+// plus a per-shard journal make the engine produce outputs bit-identical
+// to sim.RunBSP anyway (pinned by the differential suite in
+// shard_test.go and the root package's TestShardedDifferential).
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind discriminates the two message types of the boundary protocol.
+type Kind uint8
+
+const (
+	// KindData carries one round's boundary class ids from a shard to a
+	// peer: Payload[i] is the interned view id of the i-th node of the
+	// deterministic ascending boundary list both endpoints compute from
+	// the graph (the sender's nodes adjacent to the receiver's range).
+	KindData Kind = iota + 1
+	// KindAck acknowledges a KindData message, echoing Round and Seq.
+	KindAck
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	}
+	return "?"
+}
+
+// Message is one boundary-protocol datagram. Messages are small: one
+// uint64 per boundary node for data, none for acks.
+type Message struct {
+	From    int // sender shard
+	To      int // destination shard
+	Kind    Kind
+	Round   int      // exchange round the payload belongs to
+	Seq     uint64   // per-(sender,dest) sequence number; acks echo it
+	Payload []uint64 // interned view ids (KindData only)
+}
+
+// Transport moves messages between shards. It is the faulty data plane:
+// Send may silently lose the message, Recv may starve, and neither end
+// learns — reliability is the caller's protocol's job. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	// Send enqueues m for m.To. A nil error means the transport
+	// accepted the message, not that it will arrive.
+	Send(m Message) error
+	// Recv dequeues the next message for the shard, waiting up to
+	// timeout; ok is false on timeout.
+	Recv(shard int, timeout time.Duration) (m Message, ok bool)
+	// Reset discards every message queued for the shard — the mailbox
+	// of a crashed process does not survive its restart.
+	Reset(shard int)
+}
+
+// ChanTransport is the in-process Transport: one FIFO mailbox per shard
+// guarded by a mutex, with an edge-triggered wakeup channel per mailbox.
+// It is reliable and ordered; wrap it in FaultTransport for chaos.
+type ChanTransport struct {
+	mu  sync.Mutex
+	box [][]Message
+	sig []chan struct{}
+}
+
+// NewChanTransport returns a transport connecting shards mailboxes.
+func NewChanTransport(shards int) *ChanTransport {
+	t := &ChanTransport{box: make([][]Message, shards), sig: make([]chan struct{}, shards)}
+	for i := range t.sig {
+		t.sig[i] = make(chan struct{}, 1)
+	}
+	return t
+}
+
+func (t *ChanTransport) Send(m Message) error {
+	t.mu.Lock()
+	t.box[m.To] = append(t.box[m.To], m)
+	t.mu.Unlock()
+	select {
+	case t.sig[m.To] <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (t *ChanTransport) Recv(shard int, timeout time.Duration) (Message, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		t.mu.Lock()
+		if q := t.box[shard]; len(q) > 0 {
+			m := q[0]
+			copy(q, q[1:])
+			t.box[shard] = q[:len(q)-1]
+			t.mu.Unlock()
+			return m, true
+		}
+		t.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return Message{}, false
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-t.sig[shard]:
+			timer.Stop()
+		case <-timer.C:
+			return Message{}, false
+		}
+	}
+}
+
+func (t *ChanTransport) Reset(shard int) {
+	t.mu.Lock()
+	t.box[shard] = nil
+	t.mu.Unlock()
+	// Drain a pending wakeup so a restarted shard does not see a signal
+	// for a message that died with its mailbox.
+	select {
+	case <-t.sig[shard]:
+	default:
+	}
+}

@@ -4,28 +4,39 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // ErrInjected is the root of every fault FaultFS injects, so tests can
 // errors.Is failures back to the injection.
 var ErrInjected = errors.New("store: injected fault")
 
+// Fault categories FaultFS arms on its injector. Exported so chaos
+// harnesses that drive the injector directly (Faults) name the same
+// schedules FaultFS logs.
+const (
+	FaultWriteFail = "write.fail" // WriteFile returns ErrInjected
+	FaultWriteTorn = "write.torn" // WriteFile persists a ragged prefix, reports success
+	FaultReadFail  = "read.fail"  // ReadFile returns ErrInjected
+)
+
 // FaultFS wraps an FS with deterministic fault injection — the chaos
 // harness's store backend. The zero configuration passes everything
-// through. Faults are counted down per category: a budget of n means
-// the first n matching operations fail (or are torn, or slowed), then
-// the FS heals — which lets one test script "two failed writes, then
-// recovery" without sleeping or racing.
+// through. Schedules are countdown budgets on a faults.Injector: a
+// budget of n means the first n matching operations fail (or are torn,
+// or slowed), then the FS heals — which lets one test script "two
+// failed writes, then recovery" without sleeping or racing. A failing
+// write takes precedence over a torn one and leaves the torn budget
+// unconsumed.
 type FaultFS struct {
 	Inner FS
 
+	inj *faults.Injector
+
 	mu         sync.Mutex
-	failWrites int           // WriteFile calls to fail outright
-	tornWrites int           // WriteFile calls to truncate mid-page but report success
-	failReads  int           // ReadFile calls to fail
 	writeDelay time.Duration // added latency per WriteFile
-	writeCount int
-	torePaths  []string // paths whose writes were torn
+	torePaths  []string      // paths whose writes were torn
 }
 
 // NewFaultFS wraps inner (nil means OSFS).
@@ -33,19 +44,24 @@ func NewFaultFS(inner FS) *FaultFS {
 	if inner == nil {
 		inner = OSFS{}
 	}
-	return &FaultFS{Inner: inner}
+	return &FaultFS{Inner: inner, inj: faults.New(0)}
 }
 
+// Faults exposes the underlying injector, so a chaos harness can set
+// probabilistic rates or log the executed schedule (Injector.String)
+// with the same vocabulary the transport faults use.
+func (f *FaultFS) Faults() *faults.Injector { return f.inj }
+
 // FailNextWrites makes the next n WriteFile calls return ErrInjected.
-func (f *FaultFS) FailNextWrites(n int) { f.mu.Lock(); f.failWrites = n; f.mu.Unlock() }
+func (f *FaultFS) FailNextWrites(n int) { f.inj.Arm(FaultWriteFail, n) }
 
 // TearNextWrites makes the next n WriteFile calls persist only a
 // prefix of the data — cut mid-page — while reporting success: the
 // crash-after-partial-flush a recovery scan must survive.
-func (f *FaultFS) TearNextWrites(n int) { f.mu.Lock(); f.tornWrites = n; f.mu.Unlock() }
+func (f *FaultFS) TearNextWrites(n int) { f.inj.Arm(FaultWriteTorn, n) }
 
 // FailNextReads makes the next n ReadFile calls return ErrInjected.
-func (f *FaultFS) FailNextReads(n int) { f.mu.Lock(); f.failReads = n; f.mu.Unlock() }
+func (f *FaultFS) FailNextReads(n int) { f.inj.Arm(FaultReadFail, n) }
 
 // SetWriteDelay adds fixed latency to every WriteFile — the slow-disk
 // adversary for timeout tests.
@@ -60,7 +76,7 @@ func (f *FaultFS) TornPaths() []string {
 }
 
 // Writes returns the number of WriteFile calls observed.
-func (f *FaultFS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writeCount }
+func (f *FaultFS) Writes() int { return f.inj.Ops(FaultWriteFail) }
 
 func (f *FaultFS) MkdirAll(dir string) error            { return f.Inner.MkdirAll(dir) }
 func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
@@ -68,29 +84,21 @@ func (f *FaultFS) Rename(o, n string) error             { return f.Inner.Rename(
 func (f *FaultFS) Remove(path string) error             { return f.Inner.Remove(path) }
 
 func (f *FaultFS) ReadFile(path string) ([]byte, error) {
-	f.mu.Lock()
-	fail := f.failReads > 0
-	if fail {
-		f.failReads--
-	}
-	f.mu.Unlock()
-	if fail {
+	if f.inj.Trip(FaultReadFail) {
 		return nil, errors.Join(ErrInjected, errors.New("read of "+path))
 	}
 	return f.Inner.ReadFile(path)
 }
 
 func (f *FaultFS) WriteFile(path string, data []byte) error {
+	fail := f.inj.Trip(FaultWriteFail)
+	torn := false
+	if !fail {
+		torn = f.inj.Trip(FaultWriteTorn)
+	}
 	f.mu.Lock()
-	f.writeCount++
 	delay := f.writeDelay
-	fail, torn := false, false
-	if f.failWrites > 0 {
-		f.failWrites--
-		fail = true
-	} else if f.tornWrites > 0 {
-		f.tornWrites--
-		torn = true
+	if torn {
 		f.torePaths = append(f.torePaths, path)
 	}
 	f.mu.Unlock()
