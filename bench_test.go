@@ -1,7 +1,7 @@
 package election
 
 // One benchmark per experiment row of DESIGN.md's per-experiment index
-// (E1-E21). Each bench reports, beyond ns/op, the paper-relevant custom
+// (E1-E26). Each bench reports, beyond ns/op, the paper-relevant custom
 // metrics (advice bits, rounds, ratios) via b.ReportMetric, so
 // `go test -bench=. -benchmem` regenerates the quantitative skeleton of
 // EXPERIMENTS.md.
@@ -9,9 +9,12 @@ package election
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/part"
 	"repro/internal/view"
 )
 
@@ -665,6 +668,112 @@ func BenchmarkShardedBSP(b *testing.B) {
 					if tc.faults != nil {
 						b.ReportMetric(float64(st.Crashes), "crashes")
 						b.ReportMetric(float64(st.MeanRecovery())/1e6, "recovery-ms/crash")
+					}
+				}
+			})
+		}
+	}
+}
+
+// heapWatermark samples the heap in the background and returns a stop
+// function yielding the peak HeapAlloc in MB seen while it ran. The
+// watermark is process-wide, so callers should runtime.GC() first to
+// drop garbage from earlier subtests out of the baseline.
+func heapWatermark() func() float64 {
+	var peak uint64
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	sample := func(ms *runtime.MemStats) {
+		runtime.ReadMemStats(ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	go func() {
+		defer close(finished)
+		var ms runtime.MemStats
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sample(&ms)
+				return
+			case <-tick.C:
+				sample(&ms)
+			}
+		}
+	}()
+	return func() float64 {
+		close(done)
+		<-finished
+		return float64(peak) / (1 << 20)
+	}
+}
+
+// E26 — frontier-parallel refinement at scale (DESIGN.md §10): the
+// election-index loop at n up to 10M on stream-constructed graphs, with
+// the full-sweep Refiner as ablation at the sizes where it is still
+// affordable and a worker sweep showing the numbering invariance holds
+// at every pool size. Reports the stabilization depth reached (phi on
+// feasible graphs) and the peak heap watermark of the run, graph
+// included — the number the acceptance memory budget tracks.
+func BenchmarkFrontierRefinement(b *testing.B) {
+	families := []struct {
+		name  string
+		build func(n int) *graph.Graph
+	}{
+		// Small-diameter: the frontier collapses after a handful of
+		// depths, so the win is the parallel counting split itself.
+		{"random", func(n int) *graph.Graph { return graph.RandomConnectedStream(n, n/2, 1) }},
+		// Large-diameter: phi grows like the diameter and the frontier
+		// is a thin wave, the regime the worklist discipline targets.
+		{"sqgrid", func(n int) *graph.Graph {
+			w := int(math.Sqrt(float64(n)))
+			return graph.GridStream(w, (n+w-1)/w)
+		}},
+	}
+	runIndex := func(b *testing.B, g *graph.Graph, newEngine func() part.Engine) {
+		runtime.GC()
+		stop := heapWatermark()
+		depth := 0
+		for i := 0; i < b.N; i++ {
+			r := newEngine()
+			count := r.NumClasses()
+			for {
+				r.Step()
+				if r.NumClasses() == g.N() || r.NumClasses() == count {
+					break
+				}
+				count = r.NumClasses()
+			}
+			depth = r.Depth()
+		}
+		b.ReportMetric(float64(depth), "phi")
+		b.ReportMetric(stop(), "peak-heap-MB")
+	}
+	for _, f := range families {
+		for _, n := range []int{100_000, 1_000_000, 10_000_000} {
+			if n == 10_000_000 && testing.Short() {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s-n%d", f.name, n), func(b *testing.B) {
+				g := f.build(n)
+				b.Run("frontier", func(b *testing.B) {
+					runIndex(b, g, func() part.Engine { return part.NewFrontierRefiner(g, 0) })
+				})
+				// Full-sweep ablation: the pre-frontier engine resorts
+				// every class at every depth. Affordable through 1M.
+				if n <= 1_000_000 {
+					b.Run("fullsweep", func(b *testing.B) {
+						runIndex(b, g, func() part.Engine { return part.NewRefiner(g) })
+					})
+				}
+				if n == 100_000 {
+					for _, w := range []int{1, 4} {
+						b.Run(fmt.Sprintf("frontier-w%d", w), func(b *testing.B) {
+							runIndex(b, g, func() part.Engine { return part.NewFrontierRefiner(g, w) })
+						})
 					}
 				}
 			})

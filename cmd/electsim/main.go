@@ -9,9 +9,16 @@
 //	electsim -graph necklace -n 4 -algo generic -x 5
 //	electsim -graph random -n 100000 -algo index -engine part
 //
-// Graphs: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy,
-// torus, hypercube (torus and hypercube are -n-parameterized with
-// shuffled ports, so 100k-node instances are drivable from the CLI).
+// Graphs: lollipop, random, grid, sqgrid, k-bipartite, hk, necklace,
+// s0, hairy, torus, hypercube (torus and hypercube are -n-parameterized
+// with shuffled ports; sqgrid is the near-square ~n-node grid). The
+// random/torus/hypercube/grid/sqgrid families build through the
+// streaming map-free constructors, so -n scales to 10M nodes:
+//
+//	electsim -graph random -n 10000000 -algo index -memstats
+//
+// -memstats samples runtime.MemStats during the run and reports the
+// peak heap alongside the timings.
 // Algorithms: mintime (Theorem 3.1), generic (Lemma 4.1, needs -x),
 // milestone1..milestone4 (Theorem 4.1), fullmap (Proposition 2.1),
 // dplusphi (remark after Theorem 4.1), index (no election run: just φ,
@@ -68,7 +75,7 @@ import (
 
 func main() {
 	var (
-		graphKind  = flag.String("graph", "lollipop", "graph family: lollipop, random, grid, k-bipartite, hk, necklace, s0, hairy, torus, hypercube")
+		graphKind  = flag.String("graph", "lollipop", "graph family: lollipop, random, grid, sqgrid, k-bipartite, hk, necklace, s0, hairy, torus, hypercube")
 		load       = flag.String("load", "", "load the graph from a file in the text format instead of generating one")
 		save       = flag.String("save", "", "write the generated graph to a file in the text format")
 		n          = flag.Int("n", 16, "size parameter of the graph family")
@@ -84,6 +91,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "run the synchronous rounds on the crash-tolerant sharded engine with this many shards (>1)")
 		chaos      = flag.Int64("chaos", 0, "with -shards: inject a seeded fault schedule (drops, dups, reorders, delays, crashes) on the boundary transport")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock budget (0 = none); engines checkpoint per round")
+		memStats   = flag.Bool("memstats", false, "sample runtime.MemStats during the run and report the peak heap")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -118,9 +126,56 @@ func main() {
 				}
 			}()
 		}
+		if *memStats {
+			sampler := startHeapSampler()
+			defer func() {
+				peak := sampler.stop()
+				fmt.Printf("peak heap: %.1f MB\n", float64(peak)/(1<<20))
+			}()
+		}
 		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *shards, *seed, *chaos, *concurrent, *wire, *async, *timeout)
 	}()
 	os.Exit(code)
+}
+
+// heapSampler polls runtime.MemStats in the background and remembers the
+// maximum live heap it saw — a lower bound on the run's peak footprint
+// that needs no instrumentation of the measured code.
+type heapSampler struct {
+	peak uint64
+	done chan struct{}
+	out  chan uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{done: make(chan struct{}), out: make(chan uint64, 1)}
+	go func() {
+		var ms runtime.MemStats
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.done:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+				s.out <- s.peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) stop() uint64 {
+	close(s.done)
+	return <-s.out
 }
 
 func run(graphKind, load, save, algo, engine, delay string, n, x, workers, shards int, seed, chaos int64, concurrent, wire, async bool, timeout time.Duration) int {
@@ -302,9 +357,22 @@ func makeGraph(kind string, n int, seed int64) (*election.Graph, error) {
 		}
 		return election.Lollipop(n/2+2, n-n/2-2), nil
 	case "random":
-		return election.RandomConnected(n, n/2, seed), nil
+		return election.RandomConnectedStream(n, n/2, seed), nil
 	case "grid":
-		return election.Grid(n, n-1), nil
+		return election.GridStream(n, n-1), nil
+	case "sqgrid":
+		// Near-square grid with ~n nodes total: the canonical
+		// large-diameter family (diameter ~2*sqrt(n)) where the frontier
+		// refiner's active-set discipline pays off most.
+		w := 1
+		for (w+1)*(w+1) <= n {
+			w++
+		}
+		h := (n + w - 1) / w
+		if h < 1 {
+			h = 1
+		}
+		return election.GridStream(w, h), nil
 	case "k-bipartite":
 		return election.CompleteBipartite(n/2, n-n/2), nil
 	case "hk":
@@ -338,13 +406,13 @@ func makeGraph(kind string, n int, seed int64) (*election.Graph, error) {
 		if h < 3 {
 			h = 3
 		}
-		return election.ShufflePorts(election.Torus(w, h), seed), nil
+		return election.ShufflePortsStream(election.TorusStream(w, h), seed), nil
 	case "hypercube":
 		d := 1
 		for 1<<(d+1) <= n {
 			d++
 		}
-		return election.ShufflePorts(election.Hypercube(d), seed), nil
+		return election.ShufflePortsStream(election.HypercubeStream(d), seed), nil
 	default:
 		return nil, fmt.Errorf("unknown graph kind %q", kind)
 	}

@@ -76,6 +76,16 @@ var (
 	Wheel             = graph.Wheel
 	WheelWithTail     = graph.WheelWithTail
 	Broom             = graph.Broom
+
+	// Streaming (map-free, single-slab) constructors, bit-identical to
+	// their Builder-based counterparts above — the entry points for
+	// million-node instances, where the Builder's per-edge map
+	// bookkeeping would exhaust memory before refinement starts.
+	RandomConnectedStream = graph.RandomConnectedStream
+	ShufflePortsStream    = graph.ShufflePortsStream
+	TorusStream           = graph.TorusStream
+	HypercubeStream       = graph.HypercubeStream
+	GridStream            = graph.GridStream
 )
 
 // Engine selects how the partition-level quantities — the election

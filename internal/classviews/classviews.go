@@ -34,7 +34,7 @@ import (
 type Materializer struct {
 	g   *graph.Graph
 	tab *view.Table
-	ref *part.Refiner
+	ref part.Engine
 
 	class     []int32 // class[v] at the current depth
 	classPrev []int32 // scratch for the previous depth's classes
@@ -45,16 +45,23 @@ type Materializer struct {
 	stable    bool
 
 	// Packed edge matrix of the class representatives, rebuilt in place
-	// every Step; sized for the worst case (all classes singleton).
+	// every Step. flat/off grow lazily with the live class count and are
+	// recycled across depths: the worst case (one row per node) only
+	// materializes on graphs that actually refine to discrete, instead
+	// of being preallocated up front — at n=10M the old eager 2·M edge
+	// buffer cost ~0.5 GB before the first Step ran.
 	flat []view.Edge
 	off  []int32
 }
 
 // New starts materialization of g at depth 0: classes are degrees, and
-// the class views are the interned depth-0 leaves.
+// the class views are the interned depth-0 leaves. The partition is
+// tracked by the frontier-parallel refiner, whose class numbering is
+// bit-identical to part.Refiner's, so every consumer sees the exact
+// views and classes it always did.
 func New(tab *view.Table, g *graph.Graph) *Materializer {
 	n := g.N()
-	m := &Materializer{g: g, tab: tab, ref: part.NewRefiner(g)}
+	m := &Materializer{g: g, tab: tab, ref: part.NewFrontierRefiner(g, 0)}
 	m.class = m.ref.CopyClasses(nil)
 	m.classPrev = make([]int32, n)
 	m.k = m.ref.NumClasses()
@@ -66,8 +73,6 @@ func New(tab *view.Table, g *graph.Graph) *Materializer {
 	}
 	tab.LeafBatch(degs, m.views[:m.k])
 	m.stable = m.k == n
-	m.flat = make([]view.Edge, 0, 2*g.M())
-	m.off = make([]int32, n+1)
 	return m
 }
 
@@ -132,6 +137,10 @@ func (m *Materializer) Step() {
 		}
 	}
 	m.flat = m.flat[:0]
+	if cap(m.off) < m.k+1 {
+		m.off = make([]int32, m.k+1, m.k+m.k/2+1)
+	}
+	m.off = m.off[:m.k+1]
 	for c := 0; c < m.k; c++ {
 		w := m.ref.Representative(c)
 		for p := 0; p < m.g.Deg(w); p++ {

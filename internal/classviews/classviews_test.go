@@ -95,6 +95,43 @@ func TestMaterializerSeedsTruncations(t *testing.T) {
 	}
 }
 
+// Once the class count stops changing, Step must stop allocating: the
+// packed edge matrix (flat/off) is recycled in place, so deepening the
+// views of a stable partition reuses the exact same backing arrays.
+// This is the buffer discipline that keeps long materializations (one
+// Step per depth up to the election index) at O(classes) live memory
+// instead of O(depths x classes).
+func TestMaterializerRecyclesBuffers(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"ring8":    graph.Ring(8),                    // stable at 1 class forever
+		"torus34":  graph.ShufflePorts(graph.Torus(3, 4), 1),
+		"random35": graph.RandomConnected(35, 18, 9), // refines to discrete
+	} {
+		m := New(view.NewTable(), g)
+		// Reach steady state: step until the partition is stable, then
+		// once more so flat/off have been sized for the final class count.
+		for !m.Stable() {
+			m.Step()
+		}
+		m.Step()
+		if len(m.flat) == 0 || len(m.off) != m.k+1 {
+			t.Fatalf("%s: steady state has %d packed edges, %d offsets for %d classes",
+				name, len(m.flat), len(m.off), m.k)
+		}
+		flatPtr, flatCap := &m.flat[0], cap(m.flat)
+		offPtr, offCap := &m.off[0], cap(m.off)
+		for d := 0; d < 8; d++ {
+			m.Step()
+			if &m.flat[0] != flatPtr || cap(m.flat) != flatCap {
+				t.Fatalf("%s: Step %d reallocated flat (cap %d -> %d)", name, d, flatCap, cap(m.flat))
+			}
+			if &m.off[0] != offPtr || cap(m.off) != offCap {
+				t.Fatalf("%s: Step %d reallocated off (cap %d -> %d)", name, d, offCap, cap(m.off))
+			}
+		}
+	}
+}
+
 // After the partition stabilizes on an infeasible graph, classes stay
 // frozen and further Steps only deepen the class views.
 func TestMaterializerFrozenAfterStability(t *testing.T) {

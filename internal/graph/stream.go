@@ -1,0 +1,304 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+)
+
+// Streaming constructors: the Builder validates through hash maps — a
+// seenEdge map, a seenPort map, and one port map per node — which is
+// fine at test sizes but allocates several hundred bytes per edge, so at
+// n=10M the temporary maps cost more memory than the refinement they
+// feed. The *Stream constructors below build the same graphs against a
+// single []Half slab with sort+dedup over packed uint64 edges instead of
+// maps: correctness comes from the construction (ports are permutations
+// by construction, the spanning tree gives connectivity), and the
+// Builder-based forms remain the reference the equivalence tests pin
+// against — each Stream constructor is bit-identical to its Builder
+// counterpart, including the rand stream it consumes.
+
+// newSlabGraph returns a graph whose adjacency rows are slices of one
+// shared slab, sized by deg. Rows are zeroed; the caller fills every
+// position.
+func newSlabGraph(deg []int32, m int) *Graph {
+	slab := make([]Half, 2*m)
+	g := &Graph{adj: make([][]Half, len(deg)), m: m}
+	at := 0
+	for v, d := range deg {
+		g.adj[v] = slab[at : at+int(d) : at+int(d)]
+		at += int(d)
+	}
+	return g
+}
+
+// TorusStream is Torus without the Builder: the w x h toroidal grid
+// (w, h >= 3) with port order left, right, up, down at every node,
+// bit-identical to Torus(w, h), built in O(n) with no maps.
+func TorusStream(w, h int) *Graph {
+	if w < 3 || h < 3 {
+		panic("graph.TorusStream: need w, h >= 3")
+	}
+	n := w * h
+	deg := make([]int32, n)
+	for v := range deg {
+		deg[v] = 4
+	}
+	g := newSlabGraph(deg, 2*n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := x + w*y
+			g.adj[v][0] = Half{To: (x+w-1)%w + w*y, RemotePort: 1}
+			g.adj[v][1] = Half{To: (x+1)%w + w*y, RemotePort: 0}
+			g.adj[v][2] = Half{To: x + w*((y+h-1)%h), RemotePort: 3}
+			g.adj[v][3] = Half{To: x + w*((y+1)%h), RemotePort: 2}
+		}
+	}
+	return g
+}
+
+// gridPort returns the port of the direction dir (0 left, 1 right, 2 up,
+// 3 down) at grid node (x, y): directions are numbered in that fixed
+// order restricted to the ones that exist.
+func gridPort(x, y, w, h, dir int) int {
+	p := 0
+	if dir > 0 && x > 0 {
+		p++
+	}
+	if dir > 1 && x < w-1 {
+		p++
+	}
+	if dir > 2 && y > 0 {
+		p++
+	}
+	return p
+}
+
+// GridStream is Grid without the Builder: the w x h grid with ports in
+// direction order left, right, up, down restricted to directions that
+// exist, bit-identical to Grid(w, h), built in O(n) with no maps.
+func GridStream(w, h int) *Graph {
+	if w < 1 || h < 1 || w*h < 2 {
+		panic("graph.GridStream: need at least 2 nodes")
+	}
+	n := w * h
+	deg := make([]int32, n)
+	m := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := 0
+			if x > 0 {
+				d++
+			}
+			if x < w-1 {
+				d++
+			}
+			if y > 0 {
+				d++
+			}
+			if y < h-1 {
+				d++
+			}
+			deg[x+w*y] = int32(d)
+			m += d
+		}
+	}
+	g := newSlabGraph(deg, m/2)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := x + w*y
+			if x > 0 {
+				g.adj[v][gridPort(x, y, w, h, 0)] = Half{To: v - 1, RemotePort: gridPort(x-1, y, w, h, 1)}
+			}
+			if x < w-1 {
+				g.adj[v][gridPort(x, y, w, h, 1)] = Half{To: v + 1, RemotePort: gridPort(x+1, y, w, h, 0)}
+			}
+			if y > 0 {
+				g.adj[v][gridPort(x, y, w, h, 2)] = Half{To: v - w, RemotePort: gridPort(x, y-1, w, h, 3)}
+			}
+			if y < h-1 {
+				g.adj[v][gridPort(x, y, w, h, 3)] = Half{To: v + w, RemotePort: gridPort(x, y+1, w, h, 2)}
+			}
+		}
+	}
+	return g
+}
+
+// HypercubeStream is Hypercube without the Builder: the d-dimensional
+// hypercube with port i along dimension i, bit-identical to
+// Hypercube(d), built in O(n·d) with no maps.
+func HypercubeStream(d int) *Graph {
+	if d < 1 {
+		panic("graph.HypercubeStream: need d >= 1")
+	}
+	n := 1 << uint(d)
+	deg := make([]int32, n)
+	for v := range deg {
+		deg[v] = int32(d)
+	}
+	g := newSlabGraph(deg, n*d/2)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			g.adj[v][i] = Half{To: v ^ (1 << uint(i)), RemotePort: i}
+		}
+	}
+	return g
+}
+
+// permInto writes rand.Perm(n)'s permutation into p[:n] while consuming
+// the rng exactly as rand.Perm does, without allocating.
+func permInto(rng *rand.Rand, p []int32, n int) {
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = int32(i)
+	}
+}
+
+// ShufflePortsStream is ShufflePorts without the Builder: a copy of g
+// with the ports permuted uniformly at random at every node,
+// bit-identical to ShufflePorts(g, seed), built in O(n+m) with no maps.
+func ShufflePortsStream(g *Graph, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Deg(v))
+		if g.Deg(v) > maxDeg {
+			maxDeg = g.Deg(v)
+		}
+	}
+	// One flat permutation slab, consumed in node order — the same rng
+	// stream rand.Perm would draw in ShufflePorts.
+	perm := make([]int32, 2*g.M())
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+		permInto(rng, perm[off[v]:], int(deg[v]))
+	}
+	out := newSlabGraph(deg, g.M())
+	for v := 0; v < n; v++ {
+		pv := perm[off[v]:off[v+1]]
+		for p := 0; p < int(deg[v]); p++ {
+			h := g.At(v, p)
+			out.adj[v][pv[p]] = Half{To: h.To, RemotePort: int(perm[off[h.To]+int32(h.RemotePort)])}
+		}
+	}
+	return out
+}
+
+// RandomConnectedStream is RandomConnected without the Builder and
+// without the per-node port maps: the same seeded construction — random
+// spanning tree over a node permutation, extra uniform edges, uniform
+// port permutation per node — consuming the same rng stream, so for any
+// (n, extra, seed) it returns a graph bit-identical to
+// RandomConnected(n, extra, seed). Edge bookkeeping is a packed-uint64
+// sort+compact and all adjacency lives in one slab, so construction is
+// O(m log m) time and O(m) memory with no map overhead — the path that
+// makes n=10M graphs constructible before refinement even starts.
+func RandomConnectedStream(n, extra int, seed int64) *Graph {
+	if n < 2 {
+		panic("graph.RandomConnectedStream: need n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Same draws as RandomConnected: a spanning tree over rng.Perm(n),
+	// then extra (u, v) pairs with self-loops skipped.
+	edges := make([]uint64, 0, n-1+extra)
+	pack := func(u, v int) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(v)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, pack(perm[i], perm[rng.Intn(i)]))
+	}
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, pack(u, v))
+		}
+	}
+	slices.Sort(edges)
+	edges = slices.Compact(edges)
+	m := len(edges)
+
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for _, e := range edges {
+		deg[e>>32]++
+		deg[e&0xffffffff]++
+	}
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+
+	// Incidence in ascending (u, v) edge order per node — the canonical
+	// order RandomConnected sorts each node's edge list into — so the
+	// i-th port draw of a node lands on the same edge in both builds.
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	inc := make([]int32, 2*m)
+	slot := make([]int32, n)
+	copy(slot, off[:n])
+	for i, e := range edges {
+		u, v := int32(e>>32), int32(e&0xffffffff)
+		inc[slot[u]] = int32(i)
+		slot[u]++
+		inc[slot[v]] = int32(i)
+		slot[v]++
+	}
+
+	// Port permutation per node in node order (the rng order
+	// RandomConnected uses), recorded per edge endpoint.
+	portLo := make([]int32, m) // port at the smaller endpoint
+	portHi := make([]int32, m) // port at the larger endpoint
+	pbuf := make([]int32, maxDeg)
+	for v := 0; v < n; v++ {
+		permInto(rng, pbuf, int(deg[v]))
+		for i := off[v]; i < off[v+1]; i++ {
+			e := inc[i]
+			if int(edges[e]>>32) == v {
+				portLo[e] = pbuf[i-off[v]]
+			} else {
+				portHi[e] = pbuf[i-off[v]]
+			}
+		}
+	}
+
+	g := newSlabGraph(deg, m)
+	for i, e := range edges {
+		u, v := int(e>>32), int(e&0xffffffff)
+		g.adj[u][portLo[i]] = Half{To: v, RemotePort: int(portHi[i])}
+		g.adj[v][portHi[i]] = Half{To: u, RemotePort: int(portLo[i])}
+	}
+	return g
+}
+
+// mustStreamEqual panics unless a and b are byte-for-byte the same
+// port-labeled graph — the strong form of equality the Stream
+// constructors promise against their Builder counterparts. Exported to
+// tests via graph_test helpers; kept here so the invariant is stated
+// next to the code that must uphold it.
+func mustStreamEqual(a, b *Graph) {
+	if a.N() != b.N() || a.M() != b.M() {
+		panic(fmt.Sprintf("graph: stream mismatch: n %d vs %d, m %d vs %d", a.N(), b.N(), a.M(), b.M()))
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.Deg(v) != b.Deg(v) {
+			panic(fmt.Sprintf("graph: stream mismatch: deg(%d) %d vs %d", v, a.Deg(v), b.Deg(v)))
+		}
+		for p := 0; p < a.Deg(v); p++ {
+			if a.At(v, p) != b.At(v, p) {
+				panic(fmt.Sprintf("graph: stream mismatch at node %d port %d: %v vs %v", v, p, a.At(v, p), b.At(v, p)))
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestStreamMatchesBuilder pins every Stream constructor bit-identical —
+// same nodes, same ports, same remote ports — to its Builder-based
+// reference, across shapes and seeds.
+func TestStreamMatchesBuilder(t *testing.T) {
+	t.Run("torus", func(t *testing.T) {
+		for _, wh := range [][2]int{{3, 3}, {3, 5}, {4, 4}, {7, 3}, {10, 6}} {
+			mustStreamEqual(TorusStream(wh[0], wh[1]), Torus(wh[0], wh[1]))
+		}
+	})
+	t.Run("grid", func(t *testing.T) {
+		for _, wh := range [][2]int{{1, 2}, {2, 1}, {2, 2}, {4, 3}, {1, 9}, {9, 1}, {6, 8}} {
+			mustStreamEqual(GridStream(wh[0], wh[1]), Grid(wh[0], wh[1]))
+		}
+	})
+	t.Run("hypercube", func(t *testing.T) {
+		for d := 1; d <= 7; d++ {
+			mustStreamEqual(HypercubeStream(d), Hypercube(d))
+		}
+	})
+	t.Run("shuffle", func(t *testing.T) {
+		for seed := int64(0); seed < 5; seed++ {
+			mustStreamEqual(ShufflePortsStream(Torus(4, 5), seed), ShufflePorts(Torus(4, 5), seed))
+			mustStreamEqual(ShufflePortsStream(Hypercube(4), seed), ShufflePorts(Hypercube(4), seed))
+			mustStreamEqual(ShufflePortsStream(Clique(6), seed), ShufflePorts(Clique(6), seed))
+		}
+	})
+	t.Run("random", func(t *testing.T) {
+		for _, c := range []struct {
+			n, extra int
+			seed     int64
+		}{{2, 0, 0}, {5, 3, 1}, {20, 10, 0}, {20, 10, 3}, {60, 30, 7}, {85, 42, 5}, {100, 0, 2}, {100, 300, 4}} {
+			mustStreamEqual(RandomConnectedStream(c.n, c.extra, c.seed), RandomConnected(c.n, c.extra, c.seed))
+		}
+	})
+}
+
+// TestStreamModelInvariants checks the port-labeled-graph model directly
+// on a stream-built graph big enough to exercise the packed-edge paths:
+// ports form {0..deg-1} with consistent back-pointers, no loops or
+// parallel edges, and the graph is connected.
+func TestStreamModelInvariants(t *testing.T) {
+	g := RandomConnectedStream(3000, 1500, 9)
+	seen := make(map[[2]int]bool)
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			h := g.At(v, p)
+			if h.To == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if back := g.At(h.To, h.RemotePort); back.To != v || back.RemotePort != p {
+				t.Fatalf("port back-pointer broken at %d:%d -> %d:%d", v, p, h.To, h.RemotePort)
+			}
+			lo, hi := v, h.To
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if v < h.To {
+				if seen[[2]int{lo, hi}] {
+					t.Fatalf("parallel edge {%d,%d}", lo, hi)
+				}
+				seen[[2]int{lo, hi}] = true
+			}
+		}
+	}
+	if len(seen) != g.M() {
+		t.Fatalf("edge count: %d distinct vs M()=%d", len(seen), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+}

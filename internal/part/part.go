@@ -328,7 +328,10 @@ func ElectionIndexCtx(ctx context.Context, g *graph.Graph) (phi int, feasible bo
 	if n == 1 {
 		return 0, true, nil
 	}
-	r := NewRefiner(g)
+	// The frontier refiner makes this loop O(active frontier) per depth
+	// instead of O(n+m): the class count is all the loop watches, and
+	// NumClasses never triggers the canonical renumber.
+	r := NewFrontierRefiner(g, 0)
 	count := r.k
 	for {
 		if err := ctx.Err(); err != nil {
@@ -355,7 +358,7 @@ func Feasible(g *graph.Graph) bool {
 // Classes returns the per-node view classes at the given depth, numbered
 // by first occurrence — bit-identical to view.Classes.
 func Classes(g *graph.Graph, depth int) []int {
-	r := NewRefiner(g)
+	r := NewFrontierRefiner(g, 0)
 	for l := 0; l < depth; l++ {
 		r.Step()
 	}
@@ -373,24 +376,25 @@ func StablePartition(g *graph.Graph) (classes []int, depth int) {
 // StablePartitionCtx is StablePartition with a cancellation checkpoint
 // per refinement depth.
 func StablePartitionCtx(ctx context.Context, g *graph.Graph) (classes []int, depth int, err error) {
-	r := NewRefiner(g)
+	n := g.N()
+	r := NewFrontierRefiner(g, 0)
 	count := r.k
-	prev := make([]int32, r.n)
-	copy(prev, r.class)
+	var prev []int32
+	prev = r.CopyClasses(prev)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
 		}
 		r.Step()
 		if r.k == count {
-			out := make([]int, r.n)
+			out := make([]int, n)
 			for v := range out {
 				out[v] = int(prev[v])
 			}
 			return out, r.depth - 1, nil
 		}
 		count = r.k
-		copy(prev, r.class)
+		prev = r.CopyClasses(prev)
 	}
 }
 
@@ -404,7 +408,7 @@ func ElectionTrace(g *graph.Graph) (phi int, reps [][]int, feasible bool) {
 	if n == 1 {
 		return 0, [][]int{{0}}, true
 	}
-	r := NewRefiner(g)
+	r := NewFrontierRefiner(g, 0)
 	count := r.k
 	reps = append(reps, r.Representatives())
 	for {
