@@ -1,0 +1,99 @@
+// Command repolint runs this repository's mechanized-invariant
+// analyzers (DESIGN.md §11). It is runnable two ways:
+//
+//	go run ./cmd/repolint ./...          # standalone, loads packages itself
+//	go vet -vettool=$(which repolint) ./...  # unit-at-a-time under the go command
+//
+// Exit status: 0 clean (exemptions allowed), 1 diagnostics, 2 usage or
+// load failure. Intentional violations are exempted in source with
+// `//lint:allow <analyzer> <reason>`; the exit summary counts them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfetchor"
+	"repro/internal/analysis/ctxcheckpoint"
+	"repro/internal/analysis/detlint"
+	"repro/internal/analysis/fsyncbeforerename"
+	"repro/internal/analysis/typederr"
+)
+
+var analyzers = []*analysis.Analyzer{
+	atomicfetchor.Analyzer,
+	ctxcheckpoint.Analyzer,
+	detlint.Analyzer,
+	fsyncbeforerename.Analyzer,
+	typederr.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// `go vet -vettool` handshake: version fingerprint, then one
+	// *.cfg invocation per compilation unit.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		analysis.PrintVersion(os.Stdout)
+		return 0
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// The go command asks which vet flags the tool supports;
+		// repolint takes none beyond the protocol's own.
+		fmt.Println("[]")
+		return 0
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		n, err := analysis.RunUnit(os.Stderr, os.Args[1], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 2
+		}
+		if n > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	flags := flag.NewFlagSet("repolint", flag.ExitOnError)
+	flags.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repolint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := flags.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 2
+	}
+	fset, pkgs, err := analysis.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 2
+	}
+	diags, exempt, err := analysis.Run(os.Stdout, fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 2
+	}
+	fmt.Printf("repolint: %d packages, %d diagnostics, %d exempted via lint:allow\n",
+		len(pkgs), diags, exempt)
+	if diags > 0 {
+		return 1
+	}
+	return 0
+}

@@ -136,10 +136,8 @@ func (s *System) table() *view.Table {
 // nodes are distinct, and is the minimum time in which leader election
 // can be performed when the map of g is known.
 func (s *System) ElectionIndex(g *Graph) (phi int, feasible bool) {
-	if s.engine == EngineView {
-		return view.ElectionIndex(s.table(), g)
-	}
-	return part.ElectionIndex(g)
+	phi, feasible, _ = s.ElectionIndexCtx(context.Background(), g)
+	return phi, feasible
 }
 
 // ElectionIndexCtx is ElectionIndex with a cancellation checkpoint per
@@ -554,8 +552,6 @@ func (s *System) RunTreeElect(g *Graph, o Options) (*Result, error) {
 // infinite views (Yamashita–Kameda) and the depth at which refinement
 // stabilized; the graph is feasible iff every class is a singleton.
 func (s *System) StablePartition(g *Graph) (classes []int, depth int) {
-	if s.engine == EngineView {
-		return view.StablePartition(s.table(), g)
-	}
-	return part.StablePartition(g)
+	classes, depth, _ = s.StablePartitionCtx(context.Background(), g)
+	return classes, depth
 }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An allowKey addresses one source line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+// AllowSet records `//lint:allow <analyzer> <reason>` exemption
+// directives. A directive exempts matching diagnostics reported on its
+// own line or on the line immediately below it (i.e. it may trail the
+// flagged statement or sit on its own line above it). The reason is
+// mandatory: a bare `//lint:allow detlint` is malformed and is itself
+// reported, so exemptions stay auditable.
+type AllowSet struct {
+	byLine    map[allowKey]map[string]bool
+	malformed []Diagnostic
+	count     int
+}
+
+// CollectAllows scans the comments of files for lint:allow directives.
+func CollectAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
+	s := &AllowSet{byLine: make(map[allowKey]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "repolint",
+						Pos:      c.Pos(),
+						Message:  "malformed //lint:allow: want `//lint:allow <analyzer> <reason>` (reason is mandatory); directive not honored",
+					})
+					continue
+				}
+				key := allowKey{pos.Filename, pos.Line}
+				if s.byLine[key] == nil {
+					s.byLine[key] = make(map[string]bool)
+				}
+				s.byLine[key][fields[0]] = true
+			}
+		}
+	}
+	return s
+}
+
+// Allows reports whether d is exempted, counting each suppression for
+// the exit summary.
+func (s *AllowSet) Allows(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, key := range []allowKey{
+		{pos.Filename, pos.Line},     // trailing directive on the flagged line
+		{pos.Filename, pos.Line - 1}, // directive on its own line above
+	} {
+		if s.byLine[key][d.Analyzer] {
+			s.count++
+			return true
+		}
+	}
+	return false
+}
+
+// Malformed returns directives that could not be honored.
+func (s *AllowSet) Malformed() []Diagnostic { return s.malformed }
+
+// Exemptions returns the number of diagnostics suppressed so far.
+func (s *AllowSet) Exemptions() int { return s.count }

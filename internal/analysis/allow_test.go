@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func f() {
+	_ = 1 //lint:allow detlint trailing directive with a reason
+	//lint:allow typederr directive above the flagged line
+	_ = 2
+	//lint:allow detlint
+	_ = 3
+}
+`
+
+func TestAllowDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := CollectAllows(fset, []*ast.File{f})
+
+	at := func(line int, analyzer string) Diagnostic {
+		tf := fset.File(f.Pos())
+		return Diagnostic{Analyzer: analyzer, Pos: tf.LineStart(line)}
+	}
+
+	if !allows.Allows(fset, at(4, "detlint")) {
+		t.Error("trailing directive on line 4 should exempt detlint")
+	}
+	if !allows.Allows(fset, at(6, "typederr")) {
+		t.Error("directive on line 5 should exempt typederr on line 6")
+	}
+	if allows.Allows(fset, at(4, "typederr")) {
+		t.Error("directive names detlint, not typederr")
+	}
+	if allows.Allows(fset, at(9, "detlint")) {
+		t.Error("no directive near line 9")
+	}
+	if got := allows.Exemptions(); got != 2 {
+		t.Errorf("Exemptions() = %d, want 2", got)
+	}
+	mal := allows.Malformed()
+	if len(mal) != 1 || !strings.Contains(mal[0].Message, "reason is mandatory") {
+		t.Errorf("want one malformed directive (missing reason), got %v", mal)
+	}
+}

@@ -1,0 +1,100 @@
+// Package analysis is a self-contained, stdlib-only re-implementation
+// of the golang.org/x/tools/go/analysis surface this repository needs:
+// an Analyzer/Pass/Diagnostic vocabulary, a package loader built on
+// `go list`, a standalone driver, and a `go vet -vettool` unitchecker.
+//
+// The build environment pins the module to the standard library (no
+// third-party dependencies), so rather than importing x/tools the
+// repository carries the ~small subset it uses. Analyzers written
+// against this package keep the exact x/tools shape — if the module
+// ever grows the real dependency, they port by changing one import
+// line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer (the subset without facts
+// and analyzer dependencies, which repolint's checks do not need).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` exemption directives.
+	Name string
+
+	// Doc is the one-paragraph description shown by `repolint -help`.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics; installed by the driver.
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored at a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// NewPass assembles a Pass over pkg with report as its diagnostic
+// sink. Drivers (standalone, unitchecker, analysistest) all construct
+// passes through here so the _test.go filter and allow machinery stay
+// uniform.
+func NewPass(a *Analyzer, fset *token.FileSet, pkg *Package, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		report:    report,
+	}
+}
+
+// Report emits a diagnostic. Findings in _test.go files are dropped
+// centrally: the mechanized invariants target shipped code, and test
+// files deliberately construct violating shapes (fault injection,
+// negative controls).
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	if f := p.Fset.File(d.Pos); f != nil && strings.HasSuffix(f.Name(), "_test.go") {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder walks every file of the pass in depth-first preorder,
+// calling fn for each node. A nil return from fn never prunes — use
+// ast.Inspect directly when pruning matters.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}

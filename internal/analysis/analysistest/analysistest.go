@@ -1,0 +1,204 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go; an import
+// path's directory name below src/ is its import path, so a fixture
+// directory src/repro/internal/part type-checks as package path
+// "repro/internal/part" (which path-gated analyzers key on). A line
+// expecting diagnostics carries a trailing comment of one or more
+// backquoted regular expressions:
+//
+//	for k := range m { // want `map iteration`
+//
+// Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each pattern package from dir/src, applies a, and reports
+// mismatches between diagnostics and want expectations on t.
+// lint:allow directives are honored exactly as in the real driver, so
+// fixtures can demonstrate the exemption mechanism.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		srcRoot: filepath.Join(dir, "src"),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*analysis.Package),
+	}
+	for _, pattern := range patterns {
+		pkg, err := ld.load(pattern)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pattern, err)
+		}
+		check(t, fset, pkg, a)
+	}
+}
+
+// expectation is one `// want` regexp with its match state.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+
+	// Collect want expectations from every fixture file.
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp: %v", pos, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := runOne(fset, pkg, a)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg.ImportPath, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// runOne applies the analyzer with the allow filter active and
+// returns surviving diagnostics sorted by position.
+func runOne(fset *token.FileSet, pkg *analysis.Package, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	allows := analysis.CollectAllows(fset, pkg.Files)
+	var kept []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, pkg, func(d analysis.Diagnostic) {
+		if !allows.Allows(fset, d) {
+			kept = append(kept, d)
+		}
+	})
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	kept = append(kept, allows.Malformed()...)
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// loader resolves fixture packages by directory and everything else
+// through the source importer.
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	pkgs    map[string]*analysis.Package
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	p := &analysis.Package{ImportPath: path, Dir: dir, Files: files, Types: tpkg, Info: info, Target: true}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type fixtureImporter loader
+
+func (f *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(f)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	// A fixture package shadows the standard library only if a
+	// directory for it exists under src/.
+	if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

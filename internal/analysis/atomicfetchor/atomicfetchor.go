@@ -1,0 +1,91 @@
+// Package atomicfetchor flags value-returning atomic fetch-or /
+// fetch-and operations (atomic.OrUint64, (*atomic.Uint64).Or, …) whose
+// result is consumed.
+//
+// go1.24.0 miscompiles the value-returning forms in CAS/claim-loop
+// shapes (the old value can be recomputed after the RMW, so the
+// "unique claimer" test passes for more than one goroutine). PR 8's
+// frontier refiner spells every claim as an explicit
+// Load+CompareAndSwap loop (internal/part/frontier.go); this analyzer
+// keeps that spelling load-bearing across the module.
+package atomicfetchor
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfetchor",
+	Doc: "flag value-returning atomic.Or*/And* calls whose result is used " +
+		"(go1.24.0 miscompiles claim-loop shapes; spell as Load+CompareAndSwap)",
+	Run: run,
+}
+
+// fetchOps are the value-returning package-level fetch-or/and
+// functions added in go1.23.
+var fetchOps = map[string]bool{
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.InspectStack(func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		var what string
+		switch {
+		case sig.Recv() == nil && fetchOps[fn.Name()]:
+			what = "atomic." + fn.Name()
+		case sig.Recv() != nil && (fn.Name() == "Or" || fn.Name() == "And"):
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || !strings.HasPrefix(named.Obj().Name(), "Int") &&
+				!strings.HasPrefix(named.Obj().Name(), "Uint") {
+				return
+			}
+			what = "(*sync/atomic." + named.Obj().Name() + ")." + fn.Name()
+		default:
+			return
+		}
+		if !resultUsed(stack) {
+			// A discarded fetch-or is a plain set; only the consumed
+			// old value feeds the miscompiled claim shape.
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"value-returning %s: go1.24.0 miscompiles fetch-or/and in claim-loop shapes; "+
+				"spell as a Load+CompareAndSwap loop (see internal/part/frontier.go)", what)
+	})
+	return nil
+}
+
+// resultUsed reports whether the innermost enclosing statement consumes
+// the call's value (anything but a bare expression, go or defer
+// statement).
+func resultUsed(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		default:
+			return true
+		}
+	}
+	return true
+}

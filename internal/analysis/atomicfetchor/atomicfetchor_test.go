@@ -1,0 +1,12 @@
+package atomicfetchor_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfetchor"
+)
+
+func TestAtomicFetchOr(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfetchor.Analyzer, "a")
+}

@@ -1,0 +1,62 @@
+// Package a reproduces the PR 8 claim-loop shapes: the exact
+// value-returning fetch-or go1.24.0 miscompiles, and the
+// Load+CompareAndSwap spelling that replaced it.
+package a
+
+import "sync/atomic"
+
+// claimBad is the miscompiled shape: the old value returned by the
+// fetch-or decides a unique claimer.
+func claimBad(words []uint64, c int) bool {
+	word, bit := c>>6, uint64(1)<<(c&63)
+	return atomic.OrUint64(&words[word], bit)&bit == 0 // want `value-returning atomic\.OrUint64`
+}
+
+// claimLoopBad is the same shape inside a dirty-class claim loop.
+func claimLoopBad(words []uint64, dirty []int, out []int) []int {
+	for _, c := range dirty {
+		word, bit := c>>6, uint64(1)<<(c&63)
+		old := atomic.OrUint64(&words[word], bit) // want `value-returning atomic\.OrUint64`
+		if old&bit == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// andBad consumes the old value of a fetch-and.
+func andBad(x *uint64, mask uint64) uint64 {
+	return atomic.AndUint64(x, mask) // want `value-returning atomic\.AndUint64`
+}
+
+// methodBad consumes the old value through the atomic.Uint64 method.
+func methodBad(v *atomic.Uint64, bit uint64) bool {
+	return v.Or(bit)&bit == 0 // want `value-returning \(\*sync/atomic\.Uint64\)\.Or`
+}
+
+// setOnly discards the result: a plain store, not a claim.
+func setOnly(words []uint64, c int) {
+	word, bit := c>>6, uint64(1)<<(c&63)
+	atomic.OrUint64(&words[word], bit)
+}
+
+// claimGood is the enforced spelling from internal/part/frontier.go:
+// the CAS winner is the unique claimer.
+func claimGood(words []uint64, c int) bool {
+	word, bit := c>>6, uint64(1)<<(c&63)
+	for {
+		old := atomic.LoadUint64(&words[word])
+		if old&bit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&words[word], old, old|bit) {
+			return true
+		}
+	}
+}
+
+// allowed demonstrates an audited exemption.
+func allowed(x *uint64, mask uint64) uint64 {
+	//lint:allow atomicfetchor single-goroutine init path, no concurrent claimers
+	return atomic.OrUint64(x, mask)
+}

@@ -1,0 +1,204 @@
+// Package ctxcheckpoint enforces the cancellation discipline
+// introduced with the advice service (PR 6): every exported *Ctx
+// function must consult its context inside each potentially-unbounded
+// loop, and a non-Ctx convenience wrapper must delegate to the Ctx
+// variant instead of duplicating the body (so the two can never
+// drift).
+package ctxcheckpoint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheckpoint",
+	Doc: "exported ...Ctx functions must check ctx inside potentially-unbounded loops, " +
+		"and non-Ctx wrappers must delegate to the Ctx variant",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index exported func decls by (receiver, name) for wrapper
+	// delegation checks.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[declKey(fd)] = fd
+			}
+		}
+	}
+
+	for key, fd := range decls {
+		name := fd.Name.Name
+		if !ast.IsExported(name) {
+			continue
+		}
+		if strings.HasSuffix(name, "Ctx") {
+			checkLoops(pass, fd)
+			continue
+		}
+		// Foo with a sibling FooCtx: Foo must delegate.
+		ctxDecl, ok := decls[key+"Ctx"]
+		if !ok || !ast.IsExported(ctxDecl.Name.Name) {
+			continue
+		}
+		if !callsFunc(pass, fd.Body, pass.TypesInfo.Defs[ctxDecl.Name]) {
+			pass.Reportf(fd.Pos(),
+				"%s duplicates logic instead of delegating to %sCtx; "+
+					"wrappers must call the Ctx variant so the bodies cannot drift", name, name)
+		}
+	}
+	return nil
+}
+
+// declKey is "Recv.Name" for methods, "Name" for functions.
+func declKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// checkLoops reports potentially-unbounded loops in fd's body that
+// never consult the context parameter. Function literals are skipped:
+// worker bodies coordinate through channels, and their cancellation is
+// the enclosing loop's responsibility.
+func checkLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ctxObj := contextParam(pass, fd)
+	if ctxObj == nil {
+		return // no context parameter; nothing to enforce
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				if !boundedFor(n) && !usesObject(pass, n.Body, ctxObj) {
+					pass.Reportf(n.For,
+						"potentially-unbounded loop in exported %s never checks %s; "+
+							"add a ctx.Err()/ctx.Done() checkpoint", fd.Name.Name, ctxObj.Name())
+					return false // inner loops are covered by the outer checkpoint's absence
+				}
+			case *ast.RangeStmt:
+				if unboundedRange(pass, n) && !usesObject(pass, n.Body, ctxObj) {
+					pass.Reportf(n.For,
+						"range over a channel/iterator in exported %s never checks %s; "+
+							"add a ctx.Err()/ctx.Done() checkpoint", fd.Name.Name, ctxObj.Name())
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}
+
+// contextParam returns the first parameter whose type is
+// context.Context.
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context" {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && name.Name != "_" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// boundedFor recognizes the canonical counter loop
+// `for i := lo; i <op> bound; i++/i--/i±=…` whose trip count is fixed
+// before entry. Everything else — nil condition, condition on mutable
+// state — counts as potentially unbounded.
+func boundedFor(f *ast.ForStmt) bool {
+	init, ok := f.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 {
+		return false
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	condMentions := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == iv.Name
+	}
+	if !condMentions(cond.X) && !condMentions(cond.Y) {
+		return false
+	}
+	switch post := f.Post.(type) {
+	case *ast.IncDecStmt:
+		id, ok := post.X.(*ast.Ident)
+		return ok && id.Name == iv.Name
+	case *ast.AssignStmt:
+		if len(post.Lhs) != 1 {
+			return false
+		}
+		id, ok := post.Lhs[0].(*ast.Ident)
+		return ok && id.Name == iv.Name
+	}
+	return false
+}
+
+// unboundedRange reports ranges whose iteration count is not bounded
+// by an existing collection: channels and function iterators.
+func unboundedRange(pass *analysis.Pass, r *ast.RangeStmt) bool {
+	t := pass.TypesInfo.Types[r.X].Type
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// usesObject reports whether body mentions obj (reading ctx.Err(),
+// selecting on ctx.Done(), or passing ctx along all count).
+func usesObject(pass *analysis.Pass, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsFunc reports whether body contains a call (or any use) of fn.
+func callsFunc(pass *analysis.Pass, body ast.Node, fn types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	return usesObject(pass, body, fn)
+}

@@ -1,0 +1,12 @@
+package ctxcheckpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxcheckpoint"
+)
+
+func TestCtxCheckpoint(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheckpoint.Analyzer, "ctxfix")
+}

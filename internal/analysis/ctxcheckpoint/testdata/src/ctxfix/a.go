@@ -1,0 +1,94 @@
+// Package ctxfix exercises the cancellation-checkpoint discipline.
+package ctxfix
+
+import "context"
+
+// RunCtx never consults ctx inside its refinement loop.
+func RunCtx(ctx context.Context, n int) int {
+	depth := 0
+	for { // want `potentially-unbounded loop in exported RunCtx never checks ctx`
+		depth++
+		if depth > n {
+			return depth
+		}
+	}
+}
+
+// DrainCtx ranges over a channel without watching ctx.
+func DrainCtx(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch { // want `range over a channel/iterator in exported DrainCtx never checks ctx`
+		total += v
+	}
+	return total
+}
+
+// StepCtx checkpoints every iteration: clean.
+func StepCtx(ctx context.Context, n int) (int, error) {
+	depth := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return depth, err
+		}
+		depth++
+		if depth > n {
+			return depth, nil
+		}
+	}
+}
+
+// SweepCtx's loop is a bounded counter sweep: no checkpoint needed.
+func SweepCtx(ctx context.Context, xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	_ = ctx
+	return total
+}
+
+// DelegateCtx is the canonical pair: the wrapper below delegates.
+func DelegateCtx(ctx context.Context, n int) (int, error) {
+	return StepCtx(ctx, n)
+}
+
+// Delegate calls its Ctx variant: clean.
+func Delegate(n int) int {
+	v, _ := DelegateCtx(context.Background(), n)
+	return v
+}
+
+// CloneCtx has a correct body.
+func CloneCtx(ctx context.Context, n int) (int, error) {
+	return StepCtx(ctx, n)
+}
+
+// Clone duplicates CloneCtx's logic instead of delegating.
+func Clone(n int) int { // want `Clone duplicates logic instead of delegating to CloneCtx`
+	v, _ := StepCtx(context.Background(), n)
+	return v
+}
+
+// runner checks the method pair path.
+type runner struct{ n int }
+
+// RunAllCtx checkpoints; RunAll delegates: both clean.
+func (r *runner) RunAllCtx(ctx context.Context) (int, error) {
+	return StepCtx(ctx, r.n)
+}
+
+func (r *runner) RunAll() int {
+	v, _ := r.RunAllCtx(context.Background())
+	return v
+}
+
+// unexported non-Ctx helpers are out of scope even with loops.
+func spin(n int) int {
+	d := 0
+	for {
+		d++
+		if d > n {
+			return d
+		}
+	}
+}

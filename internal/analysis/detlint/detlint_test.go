@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detlint"
+)
+
+func TestDetLint(t *testing.T) {
+	analysistest.Run(t, "testdata", detlint.Analyzer, "repro/internal/part", "other")
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Run applies every analyzer to every package, filters lint:allow
+// exemptions, and writes human-readable diagnostics to w.
+//
+// The returned values are the surviving diagnostic count and the
+// exemption count; the caller turns (diags > 0) into the exit code.
+func Run(w io.Writer, fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (diags, exempt int, err error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		allows := CollectAllows(fset, pkg.Files)
+		var kept []Diagnostic
+		for _, a := range analyzers {
+			pass := NewPass(a, fset, pkg, func(d Diagnostic) {
+				if !allows.Allows(fset, d) {
+					kept = append(kept, d)
+				}
+			})
+			if err := a.Run(pass); err != nil {
+				return 0, 0, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		kept = append(kept, allows.Malformed()...)
+		exempt += allows.Exemptions()
+		all = append(all, kept...)
+	}
+
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range all {
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(all), exempt, nil
+}

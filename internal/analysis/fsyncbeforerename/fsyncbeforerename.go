@@ -1,0 +1,90 @@
+// Package fsyncbeforerename guards the store's crash-safety commit
+// protocol (PR 6): a written temporary must be durable before the
+// Rename that commits it, or a crash between rename and writeback can
+// leave a committed name pointing at torn bytes. Durability comes from
+// either an explicit Sync or the FS interface's WriteFile, whose
+// contract includes sync-before-close (internal/store/fs.go).
+package fsyncbeforerename
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncbeforerename",
+	Doc: "in internal/store, a Rename commit must be preceded by Sync or an " +
+		"FS.WriteFile (which syncs) in the same function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != "repro/internal/store" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// FS implementations named Rename are the protocol's
+			// primitives, not users of it.
+			if fd.Name.Name == "Rename" {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// One pass in source order: record the last position at which the
+	// pending bytes are known durable, and flag Renames before it.
+	var durableAt token.Pos = token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Sync":
+			durableAt = call.Pos()
+		case "WriteFile":
+			// Only the FS interface's WriteFile syncs; os.WriteFile
+			// does not.
+			if !isPackageCall(pass, sel) {
+				durableAt = call.Pos()
+			}
+		case "Rename":
+			if durableAt == token.NoPos || durableAt > call.Pos() {
+				pass.Reportf(call.Pos(),
+					"Rename commit in %s without a preceding Sync or FS.WriteFile: "+
+						"a crash can commit a name to non-durable bytes", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isPackageCall reports whether sel selects out of a package (os.X)
+// rather than off a value (fs.X).
+func isPackageCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return isPkg
+}

@@ -1,0 +1,12 @@
+package fsyncbeforerename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fsyncbeforerename"
+)
+
+func TestFsyncBeforeRename(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncbeforerename.Analyzer, "repro/internal/store")
+}

@@ -1,0 +1,79 @@
+// Package store stands in for the crash-safe cache: every commit must
+// make its temporary durable before the Rename.
+package store
+
+import "os"
+
+// FS mirrors the real store's filesystem seam. WriteFile's contract
+// includes sync-before-close; Rename atomically commits.
+type FS interface {
+	WriteFile(name string, data []byte) error
+	Rename(oldpath, newpath string) error
+}
+
+// commitBad renames bytes that were never synced: a crash after the
+// rename can leave the committed name pointing at torn data.
+func commitBad(tmp, dst string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `Rename commit in commitBad without a preceding Sync`
+}
+
+// commitOSWriteFileBad uses os.WriteFile, which does NOT sync.
+func commitOSWriteFileBad(tmp, dst string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `Rename commit in commitOSWriteFileBad without a preceding Sync`
+}
+
+// commitSynced syncs explicitly before the rename: clean.
+func commitSynced(tmp, dst string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// commitViaFS relies on the FS.WriteFile durability contract: clean.
+func commitViaFS(fs FS, tmp, dst string, data []byte) error {
+	if err := fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, dst)
+}
+
+// osFS implements FS; its Rename method is the protocol primitive and
+// is exempt by name.
+type osFS struct{}
+
+func (osFS) WriteFile(name string, data []byte) error { return os.WriteFile(name, data, 0o644) }
+
+func (osFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+// quarantine demonstrates an audited exemption: moving an
+// already-committed corrupt entry aside needs no durability barrier.
+func quarantine(fs FS, bad, aside string) error {
+	//lint:allow fsyncbeforerename quarantine moves committed bytes aside; no new data at risk
+	return fs.Rename(bad, aside)
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InspectStack walks every file in preorder, calling fn with each node
+// and its ancestor stack (outermost first, not including n). The stack
+// slice is reused between calls — copy it to retain.
+func (p *Pass) InspectStack(fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// CalleeFunc resolves the static callee of call, or nil for calls
+// through function values, conversions and built-ins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call statically invokes the package-level
+// function path.name (methods never match).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// ErrorInterface is the universe error interface type.
+var ErrorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// ImplementsError reports whether t (or *t) implements error.
+func ImplementsError(t types.Type) bool {
+	return types.Implements(t, ErrorInterface) ||
+		types.Implements(types.NewPointer(t), ErrorInterface)
+}
+
+// IsModulePath reports whether path belongs to this module (or to an
+// analysistest fixture standing in for it, which reuses the same
+// import-path prefix).
+func IsModulePath(path string) bool {
+	return path == "repro" || len(path) > 6 && path[:6] == "repro/"
+}

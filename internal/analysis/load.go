@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed and type-checked package of the
+// module under analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// Target marks packages named by the command-line patterns (as
+	// opposed to dependencies pulled in only for type information).
+	Target bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") with `go list`, parses and
+// type-checks every in-module package in dependency order, and returns
+// the pattern-matched packages. Standard-library imports are resolved
+// through the source importer, so the loader works offline with no
+// compiled export data and no third-party dependencies.
+func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	// Decode the JSON stream. -deps emits dependencies before their
+	// importers, so type-checking in stream order always finds
+	// in-module imports already checked.
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*Package)
+	imp := &moduleImporter{
+		checked: checked,
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Name == "" {
+			continue // resolved lazily by the source importer
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		p, err := checkPackage(fset, lp, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Target = !lp.DepOnly
+		checked[lp.ImportPath] = p
+		pkgs = append(pkgs, p)
+	}
+
+	var targets []*Package
+	for _, p := range pkgs {
+		if p.Target {
+			targets = append(targets, p)
+		}
+	}
+	return fset, targets, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, lp *listedPackage, imp types.ImporterFrom) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map the analyzers
+// read populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// moduleImporter serves in-module packages from the checked set and
+// defers everything else (the standard library) to the source
+// importer.
+type moduleImporter struct {
+	checked map[string]*Package
+	std     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.checked[path]; ok {
+		return p.Types, nil
+	}
+	if from, ok := m.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,37 @@
+// Package consumer is outside the protocol-owning packages: matching
+// rules still apply module-wide, but %v wrapping is not policed here
+// (a CLI may legitimately flatten an error into a message).
+package consumer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// flattenFine is not flagged: consumer is not a wrap-policed package.
+func flattenFine(err error) string {
+	return fmt.Sprintf("run failed: %v", err)
+}
+
+func errorfFine(err error) error {
+	return fmt.Errorf("cli: %v", err)
+}
+
+// compareBad is still flagged: identity matching breaks everywhere.
+func compareBad(err error) bool {
+	return err == sim.ErrBudget // want `comparing errors with == against sentinel ErrBudget`
+}
+
+// assertBad is still flagged module-wide.
+func assertBad(err error) bool {
+	_, ok := err.(*sim.StuckError) // want `bare type assertion to \*StuckError misses wrapped errors`
+	return ok
+}
+
+// stdlibFine: sentinel comparisons against non-module errors are out
+// of scope (io.EOF-style idioms).
+func stdlibFine(err error) bool {
+	return errors.Is(err, sim.ErrBudget)
+}

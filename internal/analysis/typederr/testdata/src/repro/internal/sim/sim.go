@@ -1,0 +1,81 @@
+// Package sim stands in for the engine package that owns the typed
+// error protocol.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StuckError mirrors the real typed diagnosis.
+type StuckError struct {
+	Quiesced bool
+	Round    int
+}
+
+func (e *StuckError) Error() string {
+	return fmt.Sprintf("sim: stuck at round %d (quiesced=%v)", e.Round, e.Quiesced)
+}
+
+// ErrBudget is a package sentinel.
+var ErrBudget = errors.New("sim: round budget exhausted")
+
+// wrapBad loses the chain with %v inside a protocol-owning package.
+func wrapBad(err error) error {
+	return fmt.Errorf("sim: run failed: %v", err) // want `error operand formatted with %v loses the chain`
+}
+
+// wrapStringBad loses the chain with %s too.
+func wrapStringBad(err error) error {
+	return fmt.Errorf("sim: run failed: %s", err) // want `error operand formatted with %s loses the chain`
+}
+
+// wrapGood keeps the chain.
+func wrapGood(err error) error {
+	return fmt.Errorf("sim: run failed: %w", err)
+}
+
+// compareBad matches the sentinel by identity.
+func compareBad(err error) bool {
+	return err == ErrBudget // want `comparing errors with == against sentinel ErrBudget`
+}
+
+// compareGood unwraps.
+func compareGood(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// assertBad unpacks the typed error with a bare assertion.
+func assertBad(err error) (int, bool) {
+	se, ok := err.(*StuckError) // want `bare type assertion to \*StuckError misses wrapped errors`
+	if !ok {
+		return 0, false
+	}
+	return se.Round, true
+}
+
+// assertGood uses errors.As.
+func assertGood(err error) (int, bool) {
+	var se *StuckError
+	if !errors.As(err, &se) {
+		return 0, false
+	}
+	return se.Round, true
+}
+
+// switchBad type-switches on the typed error.
+func switchBad(err error) int {
+	switch e := err.(type) {
+	case *StuckError: // want `type-switching an error on \*StuckError misses wrapped errors`
+		return e.Round
+	default:
+		return -1
+	}
+}
+
+// allowedCompare demonstrates an audited exemption: the sentinel is
+// never wrapped on this private path.
+func allowedCompare(err error) bool {
+	//lint:allow typederr errHalt-style private sentinel, never crosses a wrap boundary
+	return err != ErrBudget
+}

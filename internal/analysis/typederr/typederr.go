@@ -1,0 +1,280 @@
+// Package typederr enforces the typed-error protocol of the engines
+// and the advice service: errors declared in this module (sim.StuckError,
+// shard.ShardStuckError/CrashError, the serve breaker/HTTP errors, the
+// store sentinels) must be matched with errors.Is/errors.As — never
+// compared with == or unpacked with a bare type assertion — and, in
+// the packages that own the protocol, created with fmt.Errorf's %w so
+// the chain stays matchable end to end.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "module error types must be wrapped with %w and matched with errors.Is/As, " +
+		"never == or bare type assertions",
+	Run: run,
+}
+
+// wrapPkgs are the packages owning the typed-error protocol, where a
+// fmt.Errorf that formats an error without %w severs errors.Is/As
+// matching that callers (client retry classification, chaos suites)
+// depend on.
+var wrapPkgs = map[string]bool{
+	"repro/internal/sim":       true,
+	"repro/internal/sim/shard": true,
+	"repro/internal/serve":     true,
+	"repro/internal/store":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkCompare(pass, n)
+		case *ast.TypeAssertExpr:
+			checkAssert(pass, n)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(pass, n)
+		case *ast.CallExpr:
+			checkErrorf(pass, n)
+		}
+	})
+	return nil
+}
+
+// checkCompare flags x ==/!= sentinel for module-declared package-level
+// error sentinels (errHalt, errShutdown, store.ErrCorrupt, …): wrapped
+// errors never compare equal, so == silently stops matching the moment
+// anyone adds context with %w.
+func checkCompare(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	for _, operand := range []ast.Expr{e.X, e.Y} {
+		obj := sentinelObj(pass, operand)
+		if obj == nil {
+			continue
+		}
+		pass.Reportf(e.OpPos,
+			"comparing errors with %s against sentinel %s breaks under wrapping; use errors.Is",
+			e.Op, obj.Name())
+		return
+	}
+}
+
+// sentinelObj resolves expr to a module-declared package-level error
+// variable, or nil.
+func sentinelObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !analysis.IsModulePath(v.Pkg().Path()) {
+		return nil
+	}
+	// Package-level only: local error values are owned by one function
+	// and compare fine.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), analysis.ErrorInterface) {
+		return nil
+	}
+	return v
+}
+
+// checkAssert flags err.(*T) when err is an error and T a
+// module-declared concrete error type.
+func checkAssert(pass *analysis.Pass, e *ast.TypeAssertExpr) {
+	if e.Type == nil {
+		return // part of a type switch; handled there
+	}
+	if !isErrorExpr(pass, e.X) {
+		return
+	}
+	if name := moduleErrorType(pass, pass.TypesInfo.Types[e.Type].Type); name != "" {
+		pass.Reportf(e.Pos(),
+			"bare type assertion to %s misses wrapped errors; use errors.As", name)
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, s *ast.TypeSwitchStmt) {
+	var operand ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	case *ast.AssignStmt:
+		if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	}
+	if operand == nil || !isErrorExpr(pass, operand) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, texpr := range cc.List {
+			if name := moduleErrorType(pass, pass.TypesInfo.Types[texpr].Type); name != "" {
+				pass.Reportf(texpr.Pos(),
+					"type-switching an error on %s misses wrapped errors; use errors.As", name)
+			}
+		}
+	}
+}
+
+// isErrorExpr reports whether the static type of e is the error
+// interface (or an interface embedding it).
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return types.Implements(t, analysis.ErrorInterface)
+}
+
+// moduleErrorType returns the display name of t when it is a concrete
+// module-declared error type (possibly behind a pointer), else "".
+func moduleErrorType(pass *analysis.Pass, t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	name := ""
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+		name = "*"
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return "" // behavioral interface checks are fine
+	}
+	if !analysis.IsModulePath(named.Obj().Pkg().Path()) {
+		return ""
+	}
+	if !analysis.ImplementsError(named) {
+		return ""
+	}
+	return name + named.Obj().Name()
+}
+
+// checkErrorf flags fmt.Errorf calls in the protocol-owning packages
+// that format an error operand with a verb other than %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !wrapPkgs[pass.Pkg.Path()] {
+		return
+	}
+	if !analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	operands := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.verb == 'w' || v.verb == 'T' || v.arg >= len(operands) {
+			continue
+		}
+		t := pass.TypesInfo.Types[operands[v.arg]].Type
+		if t == nil || !types.Implements(t, analysis.ErrorInterface) {
+			continue
+		}
+		pass.Reportf(operands[v.arg].Pos(),
+			"error operand formatted with %%%c loses the chain for errors.Is/As; use %%w",
+			v.verb)
+	}
+}
+
+// verbUse maps one conversion verb to the operand index it consumes.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a fmt format string tracking operand consumption,
+// including '*' width/precision and explicit [n] argument indexes.
+func parseVerbs(format string) []verbUse {
+	var uses []verbUse
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(runes) && (runes[i] == '+' || runes[i] == '-' || runes[i] == '#' ||
+			runes[i] == ' ' || runes[i] == '0' || runes[i] == '\'') {
+			i++
+		}
+		// width / precision, each possibly '*'
+		for phase := 0; phase < 2 && i < len(runes); phase++ {
+			if runes[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+			if i < len(runes) && runes[i] == '.' && phase == 0 {
+				i++
+			} else {
+				break
+			}
+		}
+		// explicit argument index [n]
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		uses = append(uses, verbUse{verb: runes[i], arg: arg})
+		arg++
+	}
+	return uses
+}

@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", typederr.Analyzer, "repro/internal/sim", "consumer")
+}

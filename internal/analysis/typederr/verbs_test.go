@@ -1,0 +1,28 @@
+package typederr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbUse
+	}{
+		{"plain", nil},
+		{"%v", []verbUse{{'v', 0}}},
+		{"%d then %w", []verbUse{{'d', 0}, {'w', 1}}},
+		{"100%% done: %s", []verbUse{{'s', 0}}},
+		{"%+v %#x", []verbUse{{'v', 0}, {'x', 1}}},
+		{"%*d", []verbUse{{'d', 1}}},                   // '*' width consumes an operand
+		{"%.2f %w", []verbUse{{'f', 0}, {'w', 1}}},     // precision digits don't
+		{"%[2]v %[1]w", []verbUse{{'v', 1}, {'w', 0}}}, // explicit indexes
+		{"%w: %w", []verbUse{{'w', 0}, {'w', 1}}},      // multi-%w (go1.20+)
+	}
+	for _, c := range cases {
+		if got := parseVerbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}

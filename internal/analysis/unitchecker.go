@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each compilation unit (the protocol implemented by
+// x/tools' unitchecker).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the `-V=full` handshake the go command uses
+// to fingerprint a vettool. The output format must be
+// "<name> version <...>"; the trailing build ID keys go's vet cache to
+// the binary's content, so a rebuilt repolint invalidates cached
+// results.
+func PrintVersion(w io.Writer) {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%02x\n", name, h.Sum(nil))
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile
+// (a *.cfg path passed by `go vet -vettool=<repolint>`). Diagnostics
+// go to w; the returned count excludes lint:allow exemptions.
+func RunUnit(w io.Writer, cfgFile string, analyzers []*Analyzer) (diags int, err error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command requires the vetx (facts) output file to exist
+	// even though repolint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := NewTypesInfo()
+	goVersion := cfg.GoVersion
+	if !strings.HasPrefix(goVersion, "go") {
+		goVersion = "" // e.g. "local"; fall back to the toolchain default
+	}
+	tconf := types.Config{Importer: imp, GoVersion: goVersion}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Target:     true,
+	}
+	n, _, err := Run(w, fset, []*Package{pkg}, analyzers)
+	return n, err
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -103,7 +103,7 @@ func TestMaterializerSeedsTruncations(t *testing.T) {
 // instead of O(depths x classes).
 func TestMaterializerRecyclesBuffers(t *testing.T) {
 	for name, g := range map[string]*graph.Graph{
-		"ring8":    graph.Ring(8),                    // stable at 1 class forever
+		"ring8":    graph.Ring(8), // stable at 1 class forever
 		"torus34":  graph.ShufflePorts(graph.Torus(3, 4), 1),
 		"random35": graph.RandomConnected(35, 18, 9), // refines to discrete
 	} {

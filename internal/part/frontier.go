@@ -873,4 +873,3 @@ func growUint64(s []uint64, n int) []uint64 {
 	}
 	return s[:n]
 }
-

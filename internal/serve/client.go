@@ -133,7 +133,7 @@ func (c *Client) Advice(ctx context.Context, g *graph.Graph) (*AdviceResult, err
 			select {
 			case <-time.After(c.backoff(i-1, retryAfter)):
 			case <-ctx.Done():
-				return nil, fmt.Errorf("serve: giving up after %d attempts: %w (last: %v)", i, ctx.Err(), lastErr)
+				return nil, fmt.Errorf("serve: giving up after %d attempts: %w (last: %w)", i, ctx.Err(), lastErr)
 			}
 		}
 		res, retryable, err := c.once(ctx, url, body)
@@ -145,7 +145,7 @@ func (c *Client) Advice(ctx context.Context, g *graph.Graph) (*AdviceResult, err
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("serve: %w (last: %v)", ctx.Err(), lastErr)
+			return nil, fmt.Errorf("serve: %w (last: %w)", ctx.Err(), lastErr)
 		}
 	}
 	return nil, fmt.Errorf("serve: retries exhausted: %w", lastErr)

@@ -291,6 +291,7 @@ events:
 			if !done[v] {
 				lv := ensureLevel(r)
 				liveAt[r-1]--
+				//lint:allow ctxcheckpoint grow loop bounded by r (one append per missing round slot)
 				for len(liveAt) <= r {
 					liveAt = append(liveAt, 0)
 				}
@@ -301,9 +302,11 @@ events:
 				}
 				// Recycle the levels every undecided node has passed:
 				// a level is read exactly once per node, on entry.
+				//lint:allow ctxcheckpoint bounded by maxRound (liveAt[r] > 0 for some live round)
 				for liveAt[minLive] == 0 {
 					minLive++
 				}
+				//lint:allow ctxcheckpoint bounded: freed advances monotonically to minLive <= maxRound
 				for freed < minLive {
 					if levels[freed].class != nil {
 						classPool = append(classPool, levels[freed].class)

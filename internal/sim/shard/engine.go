@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -494,21 +495,12 @@ func (e *engine) runWorker(s, incarnation int) {
 	w.init()
 	if err := w.run(); err != nil {
 		var crash *CrashError
-		if asCrash(err, &crash) {
+		if errors.As(err, &crash) {
 			e.reports <- report{kind: reportCrashed, shard: s}
 			return
 		}
 		e.reports <- report{kind: reportErr, shard: s, err: err}
 	}
-}
-
-// asCrash is errors.As without the reflection import weight.
-func asCrash(err error, out **CrashError) bool {
-	c, ok := err.(*CrashError)
-	if ok {
-		*out = c
-	}
-	return ok
 }
 
 func (w *worker) init() {
@@ -601,7 +593,7 @@ func (w *worker) run() error {
 			return nil
 		}
 		if err := w.exchange(r, r >= replayTo-1); err != nil {
-			if err == errHalt {
+			if errors.Is(err, errHalt) {
 				markRecovered()
 				return nil
 			}

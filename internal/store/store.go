@@ -126,7 +126,7 @@ func (s *Store) Get(key Key) (val []byte, ok bool, err error) {
 			// Validation failure: evict so the entry cannot keep
 			// poisoning lookups, then report the corruption.
 			s.evict(key)
-			err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+			err = fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		return nil, false, err
 	}

@@ -3,6 +3,7 @@ package view
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/bits"
 )
@@ -23,11 +24,7 @@ func LevelSets(root *View) [][]*View {
 			set = append(set, v)
 		}
 		// Deterministic order by interning id.
-		for i := 1; i < len(set); i++ {
-			for k := i; k > 0 && set[k].id < set[k-1].id; k-- {
-				set[k], set[k-1] = set[k-1], set[k]
-			}
-		}
+		sort.Slice(set, func(i, k int) bool { return set[i].id < set[k].id })
 		levels[j] = set
 		if j == root.Depth {
 			break
