@@ -13,8 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/algorithms"
 	"repro/internal/graph"
 	"repro/internal/part"
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
 	"repro/internal/view"
 )
 
@@ -778,5 +781,104 @@ func BenchmarkFrontierRefinement(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// E27 — the sharded engine over a real wire (DESIGN.md §12): the same
+// elections as E25 with the boundary protocol on real loopback-TCP
+// connections (NetGroup) against the in-process channel transport, and
+// the full multi-process deployment — shardd worker processes, socket
+// control plane, disk journals — with one worker SIGKILLed mid-run.
+// Beyond ns/op it reports rounds (bit-identical everywhere by the
+// differential suite), transport resends, and for the kill variant the
+// crash count and the mean recovery (restart + journal replay) time per
+// kill in milliseconds — the cost of a process death on a live wire.
+func BenchmarkShardedWire(b *testing.B) {
+	const shards = 4
+	for _, size := range []struct {
+		name string
+		make func() *Graph
+	}{
+		{"random-n10000", func() *Graph { return RandomConnected(10_000, 5_000, 1) }},
+		{"random-n100000", func() *Graph { return RandomConnected(100_000, 50_000, 1) }},
+	} {
+		g := size.make()
+		s := NewSystem()
+		_, enc, err := s.ComputeAdvice(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, mkTransport func(b *testing.B) shard.Transport) {
+			var res *sim.Result
+			var stats *shard.Stats
+			for i := 0; i < b.N; i++ {
+				tab := view.NewTable()
+				factory, err := algorithms.NewElectFactory(tab, enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// n=100k boundary exchanges ship ~1MB data frames plus
+				// multi-MB view closures per leg. Pace the resend ramp for
+				// big frames (the 200µs default floor is tuned for small
+				// in-process exchanges) and give the exchange headroom over
+				// the 10s default before calling a shard stuck — all
+				// variants share these knobs so the rows stay comparable.
+				opt := shard.Options{Shards: shards, MaxRounds: sim.DefaultMaxRounds(g),
+					RetryBase: 5 * time.Millisecond, RetryMax: time.Second, RoundTimeout: 5 * time.Minute}
+				if mkTransport != nil {
+					opt.Transport = mkTransport(b)
+				}
+				res, stats, err = shard.Run(tab, g, factory, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sim.Verify(g, res.Outputs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Time), "rounds")
+			b.ReportMetric(float64(stats.Retries), "resends")
+		}
+		b.Run(size.name+"/inprocess", func(b *testing.B) { run(b, nil) })
+		b.Run(size.name+"/loopback-tcp", func(b *testing.B) {
+			run(b, func(b *testing.B) shard.Transport {
+				grp, err := shard.NewNetGroup("tcp", b.TempDir(), shards, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { grp.Close() })
+				return grp
+			})
+		})
+		if size.name != "random-n100000" {
+			continue
+		}
+		b.Run(size.name+"/procs-tcp-kill", func(b *testing.B) {
+			var stats *shard.Stats
+			for i := 0; i < b.N; i++ {
+				h := newProcHarness(b, g, enc, shards, "tcp", "", 0)
+				h.roundTimeout = 5 * time.Minute
+				killed, stopPoll := h.killAfterCheckpoint(1, 2)
+				res, st, err := h.run()
+				stopPoll()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Verify(g, res.Outputs); err != nil {
+					b.Fatal(err)
+				}
+				select {
+				case <-killed:
+				default:
+					b.Fatal("run finished before the kill landed")
+				}
+				stats = st
+			}
+			b.ReportMetric(float64(stats.Crashes), "crashes")
+			if stats.Recoveries > 0 {
+				b.ReportMetric(float64(stats.MeanRecovery())/1e6, "recovery-ms/kill")
+			}
+			b.ReportMetric(float64(stats.Retries), "resends")
+		})
 	}
 }

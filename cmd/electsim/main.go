@@ -90,6 +90,10 @@ func main() {
 		delay      = flag.String("delay", "uniform", "async delay model: uniform, exp, pareto, fixed, fifo, slowcut")
 		shards     = flag.Int("shards", 0, "run the synchronous rounds on the crash-tolerant sharded engine with this many shards (>1)")
 		chaos      = flag.Int64("chaos", 0, "with -shards: inject a seeded fault schedule (drops, dups, reorders, delays, crashes) on the boundary transport")
+		listen     = flag.String("listen", "", "with -shards: supervise real shardd worker processes over this control address (e.g. 127.0.0.1:0) instead of in-process goroutines; -algo mintime only")
+		peersList  = flag.String("peers", "", "with -listen: explicit comma-separated data-plane addresses, one per shard (default: auto-allocated on loopback)")
+		sharddBin  = flag.String("shardd", "", "with -listen: path to the shardd worker binary (default: next to this executable, then $PATH)")
+		network    = flag.String("network", "tcp", "with -listen: socket family for control and data planes, tcp or unix")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock budget (0 = none); engines checkpoint per round")
 		memStats   = flag.Bool("memstats", false, "sample runtime.MemStats during the run and report the peak heap")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -133,7 +137,7 @@ func main() {
 				fmt.Printf("peak heap: %.1f MB\n", float64(peak)/(1<<20))
 			}()
 		}
-		return run(*graphKind, *load, *save, *algo, *engine, *delay, *n, *x, *workers, *shards, *seed, *chaos, *concurrent, *wire, *async, *timeout)
+		return run(*graphKind, *load, *save, *algo, *engine, *delay, *listen, *peersList, *sharddBin, *network, *n, *x, *workers, *shards, *seed, *chaos, *concurrent, *wire, *async, *timeout)
 	}()
 	os.Exit(code)
 }
@@ -178,7 +182,7 @@ func (s *heapSampler) stop() uint64 {
 	return <-s.out
 }
 
-func run(graphKind, load, save, algo, engine, delay string, n, x, workers, shards int, seed, chaos int64, concurrent, wire, async bool, timeout time.Duration) int {
+func run(graphKind, load, save, algo, engine, delay, listen, peersList, sharddBin, network string, n, x, workers, shards int, seed, chaos int64, concurrent, wire, async bool, timeout time.Duration) int {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -260,6 +264,13 @@ func run(graphKind, load, save, algo, engine, delay string, n, x, workers, shard
 	if !feasible {
 		fmt.Println("leader election is impossible in this graph (symmetric views)")
 		return 2
+	}
+	if shards > 1 && listen != "" {
+		if algo != "mintime" {
+			fmt.Fprintf(os.Stderr, "electsim: -listen (multi-process shards) supports -algo mintime only, not %q\n", algo)
+			return 1
+		}
+		return runProcMode(s, g, phi, shards, seed, chaos, network, listen, peersList, sharddBin, 0)
 	}
 
 	opts := election.Options{Engine: simEngine, Workers: workers, Concurrent: concurrent, Wire: wire, Context: ctx}

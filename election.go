@@ -234,6 +234,17 @@ type Options struct {
 	ShardFaults *FaultInjector
 	// ShardSeed drives the sharded engine's retry-backoff jitter.
 	ShardSeed int64
+	// ShardTransport, when non-nil (and Shards > 1), carries the
+	// boundary traffic instead of the default in-process channel
+	// transport — e.g. a NewShardNetGroup mesh of loopback TCP or unix
+	// sockets. ShardFaults, when also set, wraps whichever transport
+	// is in effect.
+	ShardTransport ShardTransport
+	// ShardJournal, when non-nil (and Shards > 1), records per-round
+	// checkpoints and boundary payloads instead of the default
+	// in-memory journal — e.g. a NewShardFileJournal directory whose
+	// fsync-before-rename commits survive kill -9.
+	ShardJournal ShardJournal
 
 	// Context, when non-nil, bounds the run: the BSP engine checks it
 	// at every round barrier and the asynchronous engine per logical
@@ -317,6 +328,33 @@ var (
 	SeededShardChaos = shard.SeededChaos
 )
 
+// ShardTransport is the sharded engine's boundary data plane: Send,
+// shard-addressed Recv with timeout, per-shard Reset on restart. The
+// default is an in-process channel mesh; NewShardNetGroup carries the
+// same frames over real sockets.
+type ShardTransport = shard.Transport
+
+// ShardJournal is the sharded engine's crash-surviving record of
+// per-round checkpoints and boundary payloads, replayed by a restarted
+// shard. The default is in-memory (survives injected crashes within a
+// process); NewShardFileJournal survives kill -9.
+type ShardJournal = shard.Journal
+
+// ShardNetGroup is a fully-connected mesh of per-shard socket
+// endpoints over loopback TCP or unix sockets; Close it after the run.
+type ShardNetGroup = shard.NetGroup
+
+var (
+	// NewShardNetGroup builds a ShardNetGroup: network is "tcp" or
+	// "unix", dir holds unix socket files, inj (optional) injects
+	// socket-layer faults.
+	NewShardNetGroup = shard.NewNetGroup
+	// NewShardFileJournal opens a disk-backed ShardJournal rooted at
+	// dir (nil FS means the real filesystem): temp-file, fsync, rename
+	// per record, CRC-checked on replay.
+	NewShardFileJournal = shard.NewFileJournal
+)
+
 // ShardStats reports a sharded run's fault-tolerance economics:
 // crashes observed, recoveries completed, total replay time, data
 // resends. Returned on Result.ShardStats when Options.Shards > 1.
@@ -375,9 +413,14 @@ func (s *System) run(g *Graph, f sim.Factory, adviceLen int, o Options) (*Result
 	case o.Engine == SimSequential:
 		res, err = sim.RunSequential(s.table(), g, f, maxRounds)
 	case o.Shards > 1:
-		opt := shard.Options{Shards: o.Shards, MaxRounds: maxRounds, Seed: o.ShardSeed}
+		opt := shard.Options{Shards: o.Shards, MaxRounds: maxRounds, Seed: o.ShardSeed,
+			Transport: o.ShardTransport, Journal: o.ShardJournal}
 		if o.ShardFaults != nil {
-			opt.Transport = shard.NewFaultTransport(shard.NewChanTransport(o.Shards), o.ShardFaults)
+			inner := o.ShardTransport
+			if inner == nil {
+				inner = shard.NewChanTransport(o.Shards)
+			}
+			opt.Transport = shard.NewFaultTransport(inner, o.ShardFaults)
 		}
 		res, shardStats, err = shard.RunCtx(ctx, s.table(), g, f, opt)
 	default:

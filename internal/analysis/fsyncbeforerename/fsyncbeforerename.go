@@ -16,13 +16,23 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "fsyncbeforerename",
-	Doc: "in internal/store, a Rename commit must be preceded by Sync or an " +
-		"FS.WriteFile (which syncs) in the same function",
+	Doc: "in packages that commit by rename (internal/store, internal/sim/shard's " +
+		"FileJournal), a Rename must be preceded by Sync or an FS.WriteFile " +
+		"(which syncs) in the same function",
 	Run: run,
 }
 
+// gatedPackages are the packages whose writes use the
+// fsync-before-rename commit protocol: the store's persistent cache and
+// the sharded engine's disk journal (FileJournal), whose crash-recovery
+// replay depends on every committed name pointing at durable bytes.
+var gatedPackages = map[string]bool{
+	"repro/internal/store":     true,
+	"repro/internal/sim/shard": true,
+}
+
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Path() != "repro/internal/store" {
+	if !gatedPackages[pass.Pkg.Path()] {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -8,5 +8,6 @@ import (
 )
 
 func TestFsyncBeforeRename(t *testing.T) {
-	analysistest.Run(t, "testdata", fsyncbeforerename.Analyzer, "repro/internal/store")
+	analysistest.Run(t, "testdata", fsyncbeforerename.Analyzer,
+		"repro/internal/store", "repro/internal/sim/shard")
 }

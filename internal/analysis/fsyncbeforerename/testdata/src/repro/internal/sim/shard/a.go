@@ -1,0 +1,31 @@
+// Package shard stands in for the sharded engine's disk journal: every
+// journal commit must make its tmp- staging file durable before the
+// Rename that publishes it, or a kill-9 between rename and writeback
+// leaves a committed record of torn bytes for the replay to trip on.
+package shard
+
+import "os"
+
+// FS mirrors the store's filesystem seam the journal writes through.
+type FS interface {
+	WriteFile(name string, data []byte) error
+	Rename(oldpath, newpath string) error
+}
+
+// commitViaFS is the journal's commit shape: FS.WriteFile syncs before
+// returning, so the rename publishes durable bytes. Clean.
+func commitViaFS(fs FS, tmp, dst string, data []byte) error {
+	if err := fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, dst)
+}
+
+// commitUnsynced renames a record staged with os.WriteFile, which does
+// NOT sync: flagged.
+func commitUnsynced(tmp, dst string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `Rename commit in commitUnsynced without a preceding Sync`
+}

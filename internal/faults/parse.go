@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSchedule builds an injector from a compact textual schedule, so
+// a fault plan can cross a process boundary (cmd/shardd's -chaos flag)
+// and still replay deterministically from its seed. The spec is a
+// comma-separated list of clauses over the category names the
+// consumers publish (store.Fault*, shard.Fault*, shard.SockDrop, ...):
+//
+//	cat=rate        SetRate(cat, rate)     e.g. sock.drop=0.05
+//	cat#n           Arm(cat, n)            e.g. transport.dup#3
+//	cat@skip        ArmAfter(cat, skip, 1) e.g. crash.1@40
+//	cat@skip#n      ArmAfter(cat, skip, n)
+//
+// An empty spec returns an all-pass injector. Whitespace around
+// clauses is ignored; an empty clause (trailing comma) is an error, as
+// is a malformed number.
+func ParseSchedule(seed int64, spec string) (*Injector, error) {
+	inj := New(seed)
+	if strings.TrimSpace(spec) == "" {
+		return inj, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("faults: empty clause in schedule %q", spec)
+		}
+		switch {
+		case strings.Contains(clause, "="):
+			cat, val, _ := strings.Cut(clause, "=")
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("faults: bad rate in clause %q (want 0..1)", clause)
+			}
+			inj.SetRate(cat, rate)
+		case strings.Contains(clause, "@"):
+			cat, rest, _ := strings.Cut(clause, "@")
+			skipStr, nStr, hasN := strings.Cut(rest, "#")
+			skip, err := strconv.Atoi(skipStr)
+			if err != nil || skip < 0 {
+				return nil, fmt.Errorf("faults: bad skip in clause %q", clause)
+			}
+			n := 1
+			if hasN {
+				if n, err = strconv.Atoi(nStr); err != nil || n <= 0 {
+					return nil, fmt.Errorf("faults: bad budget in clause %q", clause)
+				}
+			}
+			inj.ArmAfter(cat, skip, n)
+		case strings.Contains(clause, "#"):
+			cat, nStr, _ := strings.Cut(clause, "#")
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faults: bad budget in clause %q", clause)
+			}
+			inj.Arm(cat, n)
+		default:
+			return nil, fmt.Errorf("faults: clause %q has no =rate, #budget or @skip", clause)
+		}
+	}
+	return inj, nil
+}

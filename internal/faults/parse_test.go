@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// trips runs n Trip calls against one category and returns the hit
+// pattern, the ground truth we compare a parsed schedule against.
+func trips(in *Injector, cat string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.Trip(cat)
+	}
+	return out
+}
+
+// TestParseScheduleMatchesHandArmed pins the property the -chaos flag
+// depends on: a parsed schedule behaves exactly like the same plan
+// armed through the API with the same seed.
+func TestParseScheduleMatchesHandArmed(t *testing.T) {
+	const seed = 77
+	parsed, err := ParseSchedule(seed, " sock.drop=0.25, transport.dup#3 ,crash.1@5, net.delay@2#4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := New(seed)
+	hand.SetRate("sock.drop", 0.25)
+	hand.Arm("transport.dup", 3)
+	hand.ArmAfter("crash.1", 5, 1)
+	hand.ArmAfter("net.delay", 2, 4)
+
+	for _, cat := range []string{"sock.drop", "transport.dup", "crash.1", "net.delay"} {
+		a := trips(parsed, cat, 40)
+		b := trips(hand, cat, 40)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: parsed and hand-armed injectors diverge at op %d: %v vs %v", cat, i, a, b)
+			}
+		}
+	}
+	// The budgeted categories must have actually fired.
+	if parsed.Hits("transport.dup") != 3 {
+		t.Errorf("transport.dup hits = %d, want 3", parsed.Hits("transport.dup"))
+	}
+	if parsed.Hits("crash.1") != 1 {
+		t.Errorf("crash.1 hits = %d, want 1", parsed.Hits("crash.1"))
+	}
+	if parsed.Hits("net.delay") != 4 {
+		t.Errorf("net.delay hits = %d, want 4", parsed.Hits("net.delay"))
+	}
+}
+
+// TestParseScheduleEmpty checks the all-pass default.
+func TestParseScheduleEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		inj, err := ParseSchedule(1, spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		for i := 0; i < 100; i++ {
+			if inj.Trip("anything") {
+				t.Fatalf("spec %q: all-pass injector tripped", spec)
+			}
+		}
+	}
+}
+
+// TestParseScheduleErrors walks every malformed-clause branch.
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"sock.drop=0.1,", "empty clause"},
+		{"sock.drop=2", "bad rate"},
+		{"sock.drop=abc", "bad rate"},
+		{"sock.drop=-0.1", "bad rate"},
+		{"crash.0@x", "bad skip"},
+		{"crash.0@-1", "bad skip"},
+		{"crash.0@5#0", "bad budget"},
+		{"crash.0@5#y", "bad budget"},
+		{"transport.dup#0", "bad budget"},
+		{"transport.dup#-2", "bad budget"},
+		{"transport.dup#z", "bad budget"},
+		{"justacategory", "no =rate"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSchedule(1, tc.spec); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("spec %q: err = %v, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseScheduleDeterministicAcrossProcesses re-parses the same spec
+// with the same seed twice (two independent injectors, as two worker
+// incarnations would) and demands identical trip streams — the property
+// crash-replay correctness rests on.
+func TestParseScheduleDeterministicAcrossProcesses(t *testing.T) {
+	const spec = "sock.drop=0.1,sock.close=0.02,transport.drop=0.06"
+	a, err := ParseSchedule(9, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSchedule(9, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range []string{"sock.drop", "sock.close", "transport.drop"} {
+		x := trips(a, cat, 200)
+		y := trips(b, cat, 200)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: two parses of one spec diverge at op %d", cat, i)
+			}
+		}
+	}
+}

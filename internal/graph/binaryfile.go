@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+)
+
+// SaveBinaryFile writes g to path in the "APG1" binary format — the
+// compact interchange form worker processes load a shared graph from
+// (cmd/shardd). Plain os.WriteFile: the file is an input artifact, not
+// a crash-recovery log, so the store's fsync-before-rename discipline
+// would buy nothing here.
+func SaveBinaryFile(g *Graph, path string) error {
+	data, err := g.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBinaryFile reads a graph written by SaveBinaryFile.
+func LoadBinaryFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := UnmarshalBinary(data)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return g, nil
+}

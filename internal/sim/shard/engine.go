@@ -23,10 +23,11 @@ type Options struct {
 	// Shards <= 1 delegates to sim.RunBSPCtx.
 	Shards int
 	// Transport is the boundary data plane (default: an in-process
-	// ChanTransport; wrap it in FaultTransport for chaos).
+	// ChanTransport; wrap it in FaultTransport for chaos, or use
+	// NetGroup / NetTransport for real sockets).
 	Transport Transport
 	// Journal is the crash-surviving checkpoint store (default: a
-	// fresh MemJournal).
+	// fresh MemJournal; use FileJournal for a disk-backed one).
 	Journal Journal
 	// MaxRounds bounds the election (default sim.DefaultMaxRounds).
 	MaxRounds int
@@ -35,8 +36,12 @@ type Options struct {
 	// (default 10s).
 	RoundTimeout time.Duration
 	// RetryBase and RetryMax shape the exponential backoff between
-	// data resends (defaults 200µs and 10ms); each wait is jittered by
-	// a seeded uniform factor in [0.5, 1.5).
+	// data resends (defaults 200µs and 250ms); each wait is jittered
+	// by a seeded uniform factor in [0.5, 1.5). The cap must exceed
+	// the transport's worst-case ack latency: if every unacked leg is
+	// resent faster than the receiver can drain it, large boundary
+	// frames degenerate into a resend storm that starves the acks it
+	// is waiting for.
 	RetryBase time.Duration
 	RetryMax  time.Duration
 	// MaxRestarts bounds supervisor restarts across the run (default
@@ -72,7 +77,7 @@ func (o Options) retryMax() time.Duration {
 	if o.RetryMax > 0 {
 		return o.RetryMax
 	}
-	return 10 * time.Millisecond
+	return 250 * time.Millisecond
 }
 
 func (o Options) maxRestarts() int {
@@ -92,7 +97,7 @@ type Stats struct {
 	Crashes      int           // injected shard deaths observed
 	Recoveries   int           // replays completed by restarted shards
 	RecoveryTime time.Duration // total wall time spent replaying
-	Retries      int           // data messages resent beyond the first attempt
+	Retries      int           // data/view messages resent beyond the first attempt
 }
 
 // MeanRecovery returns the average replay time per completed recovery.
@@ -125,27 +130,75 @@ func (e *ShardStuckError) Unwrap() error {
 	return e.Stuck
 }
 
-// registry is the engine-lifetime map from interned view id to view —
-// only ids cross the wire, so a receiver resolves ghost ids through it.
-// Owners register a view before first sending its id, and the registry
-// survives shard crashes (it belongs to the supervisor, not to any
-// incarnation), so journaled ids always resolve after a restart.
-type registry struct {
-	mu sync.RWMutex
-	m  map[uint64]*view.View
+// topology is the static sharding geometry — a pure function of
+// (graph, shard count) that every participant (in-process workers,
+// worker processes, the supervisor) computes identically, so payload
+// alignment needs no negotiation.
+type topology struct {
+	g      *graph.Graph
+	shards int
+	ranges [][2]int
+	// peers[s] lists, ascending, the shards s exchanges with;
+	// sendList[s][p] the ascending global ids of s's nodes adjacent to
+	// p's range — identically the ghost slots of p owned by s, so both
+	// endpoints agree on payload alignment without negotiation.
+	peers    [][]int
+	sendList []map[int][]int32
 }
 
-func (r *registry) put(v *view.View) {
-	r.mu.Lock()
-	r.m[v.ID()] = v
-	r.mu.Unlock()
-}
-
-func (r *registry) get(id uint64) *view.View {
-	r.mu.RLock()
-	v := r.m[id]
-	r.mu.RUnlock()
-	return v
+func newTopology(g *graph.Graph, shards int) *topology {
+	n := g.N()
+	t := &topology{g: g, shards: shards}
+	t.ranges = make([][2]int, shards)
+	for s := 0; s < shards; s++ {
+		t.ranges[s] = [2]int{s * n / shards, (s + 1) * n / shards}
+	}
+	own := make([]int, n)
+	for s := 0; s < shards; s++ {
+		for v := t.ranges[s][0]; v < t.ranges[s][1]; v++ {
+			own[v] = s
+		}
+	}
+	// recvSets[p][o]: nodes of shard o that p's nodes neighbor — p's
+	// ghosts owned by o. sendList[o][p] is the same list.
+	recvSets := make([]map[int]map[int32]bool, shards)
+	for s := range recvSets {
+		recvSets[s] = map[int]map[int32]bool{}
+	}
+	for v := 0; v < n; v++ {
+		p := own[v]
+		for j := 0; j < g.Deg(v); j++ {
+			u := g.At(v, j).To
+			if o := own[u]; o != p {
+				set := recvSets[p][o]
+				if set == nil {
+					set = map[int32]bool{}
+					recvSets[p][o] = set
+				}
+				set[int32(u)] = true
+			}
+		}
+	}
+	t.sendList = make([]map[int][]int32, shards)
+	t.peers = make([][]int, shards)
+	for s := range t.sendList {
+		t.sendList[s] = map[int][]int32{}
+	}
+	for p := 0; p < shards; p++ {
+		for o, set := range recvSets[p] {
+			list := make([]int32, 0, len(set))
+			for id := range set {
+				list = append(list, id)
+			}
+			sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+			t.sendList[o][p] = list
+		}
+		for o := range recvSets[p] {
+			t.peers[p] = append(t.peers[p], o)
+		}
+		sort.Ints(t.peers[p])
+	}
+	return t
 }
 
 // Run executes the synchronous protocol sharded over opt.Shards ranges
@@ -187,28 +240,122 @@ type report struct {
 	round     int
 	decisions []Decision
 	remaining int           // local nodes still undecided
+	retries   int           // resend-counter delta (proc wire only)
 	dur       time.Duration // reportRecovered: replay wall time
 	err       error         // reportErr
 }
 
-// engine is the state shared by the supervisor and every worker
-// incarnation.
-type engine struct {
-	g   *graph.Graph
-	tab *view.Table
-	f   sim.Factory
-	opt Options
+// coord is the supervisor's protocol brain, shared verbatim by the
+// in-process engine (RunCtx) and the multi-process supervisor
+// (RunProc): barrier accounting, duplicate-report handling for
+// replaying shards, restart budgeting, and the paper's 2m-per-round
+// message measure. Only the delivery mechanics differ — grant and
+// restart are plugged in by the caller.
+type coord struct {
+	topo      *topology
+	opt       Options
+	maxRounds int
+	stats     *Stats
+	res       *sim.Result
 
-	tr     Transport
-	jr     Journal
-	reg    *registry
-	ranges [][2]int
-	// peers[s] lists, ascending, the shards s exchanges with;
-	// sendList[s][p] the ascending global ids of s's nodes adjacent to
-	// p's range — identically the ghost slots of p owned by s, so both
-	// endpoints agree on payload alignment without negotiation.
-	peers    [][]int
-	sendList []map[int][]int32
+	lastRound      []int
+	remainingBy    []int
+	barrier        map[int]int // round → shards reported
+	restarts       int
+	highestGranted int
+
+	grant   func(shard, round int)
+	restart func(shard, incarnation int)
+}
+
+func newCoord(topo *topology, opt Options, stats *Stats, res *sim.Result) *coord {
+	c := &coord{topo: topo, opt: opt, maxRounds: opt.maxRounds(topo.g), stats: stats, res: res,
+		lastRound: make([]int, topo.shards), remainingBy: make([]int, topo.shards),
+		barrier: map[int]int{}, highestGranted: -1}
+	for s := range c.lastRound {
+		c.lastRound[s] = -1
+		c.remainingBy[s] = topo.ranges[s][1] - topo.ranges[s][0]
+	}
+	return c
+}
+
+func (c *coord) globalStuck(shard, round int, reason string) error {
+	undecided := 0
+	for _, rem := range c.remainingBy {
+		undecided += rem
+	}
+	return &ShardStuckError{Shard: shard, Round: round, Reason: reason,
+		Stuck: &sim.StuckError{MaxRounds: c.maxRounds, Undecided: undecided, MinRound: round, MaxRound: round}}
+}
+
+// handle processes one report. done means the run completed cleanly
+// (every node decided); a non-nil err means it failed.
+func (c *coord) handle(rep report) (done bool, err error) {
+	switch rep.kind {
+	case reportErr:
+		return false, rep.err
+	case reportCrashed:
+		c.stats.Crashes++
+		c.restarts++
+		if c.restarts > c.opt.maxRestarts() {
+			return false, c.globalStuck(rep.shard, c.lastRound[rep.shard],
+				fmt.Sprintf("restart budget of %d exhausted", c.opt.maxRestarts()))
+		}
+		c.restart(rep.shard, c.restarts)
+	case reportRecovered:
+		c.stats.Recoveries++
+		c.stats.RecoveryTime += rep.dur
+	case reportRound:
+		c.stats.Retries += rep.retries
+		if rep.round <= c.lastRound[rep.shard] {
+			// A restarted shard replaying its journal: the round is
+			// already counted; re-grant the barrier if it has
+			// already completed, else the live barrier covers it.
+			if rep.round <= c.highestGranted {
+				c.grant(rep.shard, rep.round)
+			}
+			return false, nil
+		}
+		for _, d := range rep.decisions {
+			c.res.Outputs[d.Node] = d.Output
+			c.res.Rounds[d.Node] = d.Round
+		}
+		c.lastRound[rep.shard] = rep.round
+		c.remainingBy[rep.shard] = rep.remaining
+		c.barrier[rep.round]++
+		if c.barrier[rep.round] < c.topo.shards {
+			return false, nil
+		}
+		delete(c.barrier, rep.round)
+		total := 0
+		for _, rem := range c.remainingBy {
+			total += rem
+		}
+		if total == 0 {
+			return true, nil
+		}
+		if rep.round >= c.maxRounds {
+			return false, fmt.Errorf("sim: %d nodes undecided after %d rounds", total, c.maxRounds)
+		}
+		c.res.Messages += 2 * c.topo.g.M()
+		c.highestGranted = rep.round
+		for s := 0; s < c.topo.shards; s++ {
+			c.grant(s, rep.round)
+		}
+	}
+	return false, nil
+}
+
+// engine is the in-process deployment: workers are goroutines, control
+// messages are channels, and the transport defaults to a ChanTransport.
+type engine struct {
+	topo *topology
+	tab  *view.Table
+	f    sim.Factory
+	opt  Options
+
+	tr Transport
+	jr Journal
 
 	reports chan report
 	ctrl    []chan ctrlMsg
@@ -220,7 +367,7 @@ type engine struct {
 }
 
 // errHalt is the worker-internal "shut down cleanly" sentinel.
-var errHalt = fmt.Errorf("shard: halted")
+var errHalt = errors.New("shard: halted")
 
 // RunCtx is Run with cancellation: the supervisor aborts every worker
 // at the next control-plane touch once ctx is done.
@@ -239,63 +386,12 @@ func RunCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f sim.Factory,
 		return res, stats, err
 	}
 
-	e := &engine{g: g, tab: tab, f: f, opt: opt, tr: opt.Transport, jr: opt.Journal,
-		reg: &registry{m: map[uint64]*view.View{}}}
+	e := &engine{topo: newTopology(g, shards), tab: tab, f: f, opt: opt, tr: opt.Transport, jr: opt.Journal}
 	if e.tr == nil {
 		e.tr = NewChanTransport(shards)
 	}
 	if e.jr == nil {
 		e.jr = NewMemJournal()
-	}
-	e.ranges = make([][2]int, shards)
-	for s := 0; s < shards; s++ {
-		e.ranges[s] = [2]int{s * n / shards, (s + 1) * n / shards}
-	}
-	own := make([]int, n)
-	for s := 0; s < shards; s++ {
-		for v := e.ranges[s][0]; v < e.ranges[s][1]; v++ {
-			own[v] = s
-		}
-	}
-	owner := func(v int) int { return own[v] }
-	// recvSets[p][o]: nodes of shard o that p's nodes neighbor — p's
-	// ghosts owned by o. sendList[o][p] is the same list.
-	recvSets := make([]map[int]map[int32]bool, shards)
-	for s := range recvSets {
-		recvSets[s] = map[int]map[int32]bool{}
-	}
-	for v := 0; v < n; v++ {
-		p := owner(v)
-		for j := 0; j < g.Deg(v); j++ {
-			u := g.At(v, j).To
-			if o := owner(u); o != p {
-				set := recvSets[p][o]
-				if set == nil {
-					set = map[int32]bool{}
-					recvSets[p][o] = set
-				}
-				set[int32(u)] = true
-			}
-		}
-	}
-	e.sendList = make([]map[int][]int32, shards)
-	e.peers = make([][]int, shards)
-	for s := range e.sendList {
-		e.sendList[s] = map[int][]int32{}
-	}
-	for p := 0; p < shards; p++ {
-		for o, set := range recvSets[p] {
-			list := make([]int32, 0, len(set))
-			for id := range set {
-				list = append(list, id)
-			}
-			sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
-			e.sendList[o][p] = list
-		}
-		for o := range recvSets[p] {
-			e.peers[p] = append(e.peers[p], o)
-		}
-		sort.Ints(e.peers[p])
 	}
 
 	e.reports = make(chan report, 4*shards)
@@ -309,15 +405,15 @@ func RunCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f sim.Factory,
 
 	stats := &Stats{Shards: shards}
 	res := &sim.Result{Outputs: make([][]int, n), Rounds: make([]int, n)}
-	maxRounds := opt.maxRounds(g)
-	lastRound := make([]int, shards)
-	remainingBy := make([]int, shards)
-	barrier := map[int]int{} // round → shards reported
-	restarts := 0
-	highestGranted := -1
-	for s := range lastRound {
-		lastRound[s] = -1
-		remainingBy[s] = e.ranges[s][1] - e.ranges[s][0]
+	c := newCoord(e.topo, opt, stats, res)
+	c.grant = func(s, round int) { e.ctrl[s] <- ctrlMsg{kind: ctrlProceed, round: round} }
+	c.restart = func(s, inc int) {
+		// Reset strictly before respawn: the mailbox epoch bump must
+		// happen-before the new incarnation's first Recv (see
+		// Transport.Reset).
+		e.tr.Reset(s)
+		wg.Add(1)
+		go func() { defer wg.Done(); e.runWorker(s, inc) }()
 	}
 
 	shutdown := func(kind ctrlKind) {
@@ -356,7 +452,7 @@ func RunCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f sim.Factory,
 				break drain
 			}
 		}
-		stats.Retries = int(e.retries.Load())
+		stats.Retries += int(e.retries.Load())
 		if err != nil {
 			return nil, stats, err
 		}
@@ -368,14 +464,6 @@ func RunCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f sim.Factory,
 		stats.Rounds = res.Time
 		return res, stats, nil
 	}
-	globalStuck := func(shard, round int, reason string) error {
-		undecided := 0
-		for _, rem := range remainingBy {
-			undecided += rem
-		}
-		return &ShardStuckError{Shard: shard, Round: round, Reason: reason,
-			Stuck: &sim.StuckError{MaxRounds: maxRounds, Undecided: undecided, MinRound: round, MaxRound: round}}
-	}
 
 	for {
 		var rep report
@@ -385,72 +473,40 @@ func RunCtx(ctx context.Context, tab *view.Table, g *graph.Graph, f sim.Factory,
 			return res, stats, err
 		case rep = <-e.reports:
 		}
-		switch rep.kind {
-		case reportErr:
-			return finish(rep.err)
-		case reportCrashed:
-			stats.Crashes++
-			restarts++
-			if restarts > opt.maxRestarts() {
-				return finish(globalStuck(rep.shard, lastRound[rep.shard], fmt.Sprintf("restart budget of %d exhausted", opt.maxRestarts())))
-			}
-			e.tr.Reset(rep.shard)
-			wg.Add(1)
-			go func(s, inc int) { defer wg.Done(); e.runWorker(s, inc) }(rep.shard, restarts)
-		case reportRecovered:
-			stats.Recoveries++
-			stats.RecoveryTime += rep.dur
-		case reportRound:
-			if rep.round <= lastRound[rep.shard] {
-				// A restarted shard replaying its journal: the round is
-				// already counted; re-grant the barrier if it has
-				// already completed, else the live barrier covers it.
-				if rep.round <= highestGranted {
-					e.ctrl[rep.shard] <- ctrlMsg{kind: ctrlProceed, round: rep.round}
-				}
-				continue
-			}
-			for _, d := range rep.decisions {
-				res.Outputs[d.Node] = d.Output
-				res.Rounds[d.Node] = d.Round
-			}
-			lastRound[rep.shard] = rep.round
-			remainingBy[rep.shard] = rep.remaining
-			barrier[rep.round]++
-			if barrier[rep.round] < shards {
-				continue
-			}
-			delete(barrier, rep.round)
-			total := 0
-			for _, rem := range remainingBy {
-				total += rem
-			}
-			if total == 0 {
-				shutdown(ctrlStop)
-				return finish(nil)
-			}
-			if rep.round >= maxRounds {
-				return finish(fmt.Errorf("sim: %d nodes undecided after %d rounds", total, maxRounds))
-			}
-			res.Messages += 2 * g.M()
-			highestGranted = rep.round
-			for s := 0; s < shards; s++ {
-				e.ctrl[s] <- ctrlMsg{kind: ctrlProceed, round: rep.round}
-			}
+		done, err := c.handle(rep)
+		if err != nil {
+			return finish(err)
+		}
+		if done {
+			shutdown(ctrlStop)
+			return finish(nil)
 		}
 	}
 }
 
 // worker is one shard incarnation: the range's refiner, deciders, class
 // views and the boundary-protocol state. A fresh one is built per
-// restart; everything durable lives in the journal, the registry and
-// the interning table.
+// restart; everything durable lives in the journal and everything
+// shared in the topology — the supervisor plumbing (emit, ctrlRecv,
+// halted) is injected, so the same worker runs as a goroutine of the
+// in-process engine or as the core of a worker process (RunWorker).
 type worker struct {
-	e    *engine
+	topo *topology
+	tab  *view.Table
+	f    sim.Factory
+	opt  Options
+	tr   Transport
+	jr   Journal
+
 	s    int
 	lo   int
 	size int
 	inc  int
+
+	emit     func(report) error     // deliver a report to the supervisor
+	ctrlRecv func() (ctrlMsg, bool) // non-blocking control-message poll
+	halted   func() bool            // engine-wide kill switch
+	retries  *atomic.Int64
 
 	rr        *part.RangeRefiner
 	deciders  []sim.Decider
@@ -468,10 +524,17 @@ type worker struct {
 	ghostIDs   []uint64
 	ghostViews []*view.View
 	ghostSeg   map[int][2]int // peer → (first slot, count) of its ghosts
+	ghostPeer  []int          // ghost slot → owning peer
 
 	// pending[(round,peer)] marks boundary payloads already journaled,
 	// so exchanges consume journal-first and duplicates only re-ack.
 	pending map[[2]int][]uint64
+
+	// store holds the view bodies received per peer (journal-backed);
+	// ship[p] the view ids peer p has acked — the per-peer sent-set
+	// that makes each body cross the wire once per sender incarnation.
+	store *viewStore
+	ship  map[int]map[uint64]bool
 
 	// hwm is the highest round this shard has ever reported (across
 	// incarnations — seeded from the journal on restart). Peers can be
@@ -485,8 +548,26 @@ type worker struct {
 	rng *rand.Rand
 }
 
+func (e *engine) newWorker(s, incarnation int) *worker {
+	return &worker{
+		topo: e.topo, tab: e.tab, f: e.f, opt: e.opt, tr: e.tr, jr: e.jr,
+		s: s, inc: incarnation, lo: e.topo.ranges[s][0], size: e.topo.ranges[s][1] - e.topo.ranges[s][0],
+		emit: func(rep report) error { e.reports <- rep; return nil },
+		ctrlRecv: func() (ctrlMsg, bool) {
+			select {
+			case c := <-e.ctrl[s]:
+				return c, true
+			default:
+				return ctrlMsg{}, false
+			}
+		},
+		halted:  func() bool { return e.halted.Load() != 0 },
+		retries: &e.retries,
+	}
+}
+
 func (e *engine) runWorker(s, incarnation int) {
-	w := &worker{e: e, s: s, inc: incarnation, lo: e.ranges[s][0], size: e.ranges[s][1] - e.ranges[s][0]}
+	w := e.newWorker(s, incarnation)
 	defer func() {
 		if p := recover(); p != nil {
 			e.reports <- report{kind: reportErr, shard: s, err: fmt.Errorf("shard: shard %d panicked: %v", s, p)}
@@ -504,11 +585,11 @@ func (e *engine) runWorker(s, incarnation int) {
 }
 
 func (w *worker) init() {
-	e := w.e
-	w.rr = part.NewRangeRefiner(e.g, w.lo, w.lo+w.size)
+	g := w.topo.g
+	w.rr = part.NewRangeRefiner(g, w.lo, w.lo+w.size)
 	w.deciders = make([]sim.Decider, w.size)
 	for i := 0; i < w.size; i++ {
-		w.deciders[i] = e.f(w.lo+i, e.g.Deg(w.lo+i))
+		w.deciders[i] = w.f(w.lo+i, g.Deg(w.lo+i))
 	}
 	w.done = make([]bool, w.size)
 	w.remaining = w.size
@@ -518,7 +599,7 @@ func (w *worker) init() {
 	w.off = make([]int32, w.size+1)
 	flatCap := 0
 	for i := 0; i < w.size; i++ {
-		flatCap += e.g.Deg(w.lo + i)
+		flatCap += g.Deg(w.lo + i)
 	}
 	w.flat = make([]view.Edge, 0, flatCap)
 	ghosts := w.rr.Ghosts()
@@ -527,21 +608,36 @@ func (w *worker) init() {
 	w.ck = make([]int32, w.size)
 	w.gk = make([]int32, len(ghosts))
 	w.ghostSeg = map[int][2]int{}
-	for _, p := range e.peers[w.s] {
-		first := sort.Search(len(ghosts), func(i int) bool { return int(ghosts[i]) >= e.ranges[p][0] })
-		last := sort.Search(len(ghosts), func(i int) bool { return int(ghosts[i]) >= e.ranges[p][1] })
+	w.ghostPeer = make([]int, len(ghosts))
+	for _, p := range w.topo.peers[w.s] {
+		first := sort.Search(len(ghosts), func(i int) bool { return int(ghosts[i]) >= w.topo.ranges[p][0] })
+		last := sort.Search(len(ghosts), func(i int) bool { return int(ghosts[i]) >= w.topo.ranges[p][1] })
 		w.ghostSeg[p] = [2]int{first, last - first}
+		for i := first; i < last; i++ {
+			w.ghostPeer[i] = p
+		}
 	}
 	w.pending = map[[2]int][]uint64{}
-	w.rng = rand.New(rand.NewSource(e.opt.Seed ^ int64(w.s)*0x9E3779B9 ^ int64(w.inc)<<32))
+	w.store = newViewStore()
+	w.ship = map[int]map[uint64]bool{}
+	w.rng = rand.New(rand.NewSource(w.opt.Seed ^ int64(w.s)*0x9E3779B9 ^ int64(w.inc)<<32))
 
 	// Depth-0 class views: the interned leaves of the class degrees.
 	k := w.rr.NumClasses()
 	degs := make([]int, k)
 	for c := 0; c < k; c++ {
-		degs[c] = e.g.Deg(w.rr.Representative(c))
+		degs[c] = g.Deg(w.rr.Representative(c))
 	}
-	e.tab.LeafBatch(degs, w.views[:k])
+	w.tab.LeafBatch(degs, w.views[:k])
+}
+
+func (w *worker) shipOf(p int) map[uint64]bool {
+	m := w.ship[p]
+	if m == nil {
+		m = map[uint64]bool{}
+		w.ship[p] = m
+	}
+	return m
 }
 
 // run replays the journal (rounds with checkpoints) and then runs live.
@@ -550,35 +646,57 @@ func (w *worker) init() {
 // supervisor, so recovery is the live protocol with every wait a cache
 // hit.
 func (w *worker) run() error {
-	recs, ghosts := w.e.jr.Restore(w.s)
-	for _, gr := range ghosts {
+	restored, err := w.jr.Restore(w.s)
+	if err != nil {
+		return &JournalError{Shard: w.s, Op: "restore", Err: err}
+	}
+	for i, rec := range restored.Records {
+		if rec.Round != i {
+			return &JournalError{Shard: w.s, Op: "restore",
+				Err: fmt.Errorf("%w: checkpoint for round %d at position %d", ErrJournalCorrupt, rec.Round, i)}
+		}
+	}
+	for _, gr := range restored.Ghosts {
 		w.pending[[2]int{gr.Round, gr.Peer}] = gr.IDs
 	}
-	replayTo := len(recs)
+	for peer, vs := range restored.Views {
+		if err := w.store.add(peer, vs); err != nil {
+			return &JournalError{Shard: w.s, Op: "restore", Err: fmt.Errorf("%w: %w", ErrJournalCorrupt, err)}
+		}
+	}
+	replayTo := len(restored.Records)
 	w.hwm = replayTo - 1
 	start := time.Now()
 	recovered := w.inc == 0
-	markRecovered := func() {
+	markRecovered := func() error {
 		if !recovered {
 			recovered = true
-			w.e.reports <- report{kind: reportRecovered, shard: w.s, dur: time.Since(start)}
+			return w.emit(report{kind: reportRecovered, shard: w.s, dur: time.Since(start)})
 		}
+		return nil
 	}
 	for r := 0; ; r++ {
 		if r == replayTo {
-			markRecovered()
-		}
-		decs := w.sweep(r)
-		if r < replayTo {
-			if err := w.validate(recs[r], decs); err != nil {
+			if err := markRecovered(); err != nil {
 				return err
 			}
 		}
-		w.checkpoint(r, decs)
+		decs := w.sweep(r)
+		if r < replayTo {
+			if err := w.validate(restored.Records[r], decs); err != nil {
+				return err
+			}
+		}
+		if err := w.checkpoint(r, decs); err != nil {
+			return err
+		}
 		if r > w.hwm {
 			w.hwm = r
 		}
-		w.e.reports <- report{kind: reportRound, shard: w.s, round: r, decisions: decs, remaining: w.remaining}
+		if err := w.emit(report{kind: reportRound, shard: w.s, round: r,
+			decisions: decs, remaining: w.remaining, retries: w.takeRetries()}); err != nil {
+			return err
+		}
 		stop, err := w.barrier(r)
 		if err != nil {
 			return err
@@ -589,13 +707,11 @@ func (w *worker) run() error {
 			// final barrier, after the shard's last fresh report). The
 			// incarnation is restored as far as the run needed — count
 			// the recovery rather than leaving it forever in flight.
-			markRecovered()
-			return nil
+			return markRecovered()
 		}
 		if err := w.exchange(r, r >= replayTo-1); err != nil {
 			if errors.Is(err, errHalt) {
-				markRecovered()
-				return nil
+				return markRecovered()
 			}
 			return err
 		}
@@ -604,6 +720,12 @@ func (w *worker) run() error {
 		}
 	}
 }
+
+// takeRetries is only meaningful on the proc wire, where the resend
+// counter is process-local and reported as deltas; the in-process
+// engine shares one atomic counter across workers and reads it at
+// finish, so its per-report delta must be zero to avoid double counts.
+func (w *worker) takeRetries() int { return 0 }
 
 func (w *worker) sweep(r int) []Decision {
 	var decs []Decision
@@ -624,7 +746,11 @@ func (w *worker) sweep(r int) []Decision {
 // validate pins a replayed round to its checkpoint: a divergence means
 // the deciders are not deterministic (or the journal is corrupt), and
 // silently proceeding could publish different bits than the crashed
-// incarnation already reported.
+// incarnation already reported. The view ids compared are table-local:
+// a restarted process interns views in a deterministic order (leaf
+// batch, ghost slots, class batches — never on a transport or journal
+// path), so a faithful replay reproduces them bit-for-bit even in a
+// fresh table.
 func (w *worker) validate(rec Record, decs []Decision) error {
 	if rec.Remaining != w.remaining || len(rec.Decided) != len(decs) {
 		return fmt.Errorf("shard: shard %d replay diverged at round %d: %d remaining / %d decisions, checkpoint has %d / %d",
@@ -644,14 +770,17 @@ func (w *worker) validate(rec Record, decs []Decision) error {
 	return nil
 }
 
-func (w *worker) checkpoint(r int, decs []Decision) {
+func (w *worker) checkpoint(r int, decs []Decision) error {
 	k := w.rr.NumClasses()
 	ids := make([]uint64, k)
 	for c := 0; c < k; c++ {
 		ids[c] = w.views[c].ID()
 	}
 	w.cpClass = w.rr.CopyClasses(w.cpClass)
-	w.e.jr.Checkpoint(w.s, Record{Round: r, Class: w.cpClass, ViewIDs: ids, Decided: decs, Remaining: w.remaining})
+	if err := w.jr.Checkpoint(w.s, Record{Round: r, Class: w.cpClass, ViewIDs: ids, Decided: decs, Remaining: w.remaining}); err != nil {
+		return &JournalError{Shard: w.s, Op: "checkpoint", Err: err}
+	}
+	return nil
 }
 
 // pollCtrl drains one control message if present. It returns stop=true
@@ -659,11 +788,10 @@ func (w *worker) checkpoint(r int, decs []Decision) {
 // proceeds (round < want, leftovers consumed by a dead incarnation's
 // successor) are dropped.
 func (w *worker) pollCtrl(want int) (proceed, stop bool) {
-	if w.e.halted.Load() != 0 {
+	if w.halted() {
 		return false, true
 	}
-	select {
-	case c := <-w.e.ctrl[w.s]:
+	if c, ok := w.ctrlRecv(); ok {
 		switch c.kind {
 		case ctrlStop, ctrlAbort:
 			return false, true
@@ -672,7 +800,6 @@ func (w *worker) pollCtrl(want int) (proceed, stop bool) {
 				return true, false
 			}
 		}
-	default:
 	}
 	return false, false
 }
@@ -690,12 +817,24 @@ func (w *worker) barrier(r int) (stop bool, err error) {
 		if proceed {
 			return false, nil
 		}
-		if m, ok := w.e.tr.Recv(w.s, 200*time.Microsecond); ok {
-			if err := w.acceptData(m); err != nil {
+		if m, ok := w.tr.Recv(w.s, 200*time.Microsecond); ok {
+			if err := w.service(m); err != nil {
 				return false, err
 			}
 		}
 	}
+}
+
+// service dispatches an incoming data-plane message outside the
+// exchange loop (barrier waits); stale acks are dropped.
+func (w *worker) service(m Message) error {
+	switch m.Kind {
+	case KindData:
+		return w.acceptData(m)
+	case KindView:
+		return w.acceptViews(m)
+	}
+	return nil
 }
 
 // acceptData journals and acks an incoming data message (duplicates
@@ -703,9 +842,6 @@ func (w *worker) barrier(r int) (stop bool, err error) {
 // data survives a crash). The lockstep protocol permits senders to be
 // at most at this shard's report high-water mark.
 func (w *worker) acceptData(m Message) error {
-	if m.Kind != KindData {
-		return nil // stale ack
-	}
 	if m.Round > w.hwm {
 		return fmt.Errorf("shard: shard %d received round-%d data from shard %d with high-water mark %d", w.s, m.Round, m.From, w.hwm)
 	}
@@ -717,89 +853,155 @@ func (w *worker) acceptData(m Message) error {
 	key := [2]int{m.Round, m.From}
 	if _, have := w.pending[key]; !have {
 		ids := append([]uint64(nil), m.Payload...)
-		w.e.jr.Ghosts(w.s, GhostRecord{Round: m.Round, Peer: m.From, IDs: ids})
+		if err := w.jr.Ghosts(w.s, GhostRecord{Round: m.Round, Peer: m.From, IDs: ids}); err != nil {
+			return &JournalError{Shard: w.s, Op: "ghosts", Err: err}
+		}
 		w.pending[key] = ids
 	}
-	return w.send(Message{From: w.s, To: m.From, Kind: KindAck, Round: m.Round, Seq: m.Seq})
+	return w.send(Message{From: w.s, To: m.From, Kind: KindAck, Round: m.Round, Seq: m.Seq, AckOf: KindData})
+}
+
+// acceptViews validates, journals and acks a batch of shipped view
+// bodies. Bodies already stored are not re-journaled; the ack covers
+// the whole batch (journal strictly before ack, so acked views survive
+// a crash and the sender may retire them from its sent-set for good).
+func (w *worker) acceptViews(m Message) error {
+	if m.Round > w.hwm {
+		return fmt.Errorf("shard: shard %d received round-%d views from shard %d with high-water mark %d", w.s, m.Round, m.From, w.hwm)
+	}
+	if _, ok := w.ghostSeg[m.From]; !ok {
+		return fmt.Errorf("shard: shard %d received views from non-peer shard %d", w.s, m.From)
+	}
+	for _, v := range m.Views {
+		if err := checkWireView(v); err != nil {
+			return fmt.Errorf("shard: shard %d rejected view batch from shard %d: %w", w.s, m.From, err)
+		}
+	}
+	if fresh := w.store.missing(m.From, m.Views); len(fresh) > 0 {
+		if err := w.jr.Views(w.s, m.From, fresh); err != nil {
+			return &JournalError{Shard: w.s, Op: "views", Err: err}
+		}
+		if err := w.store.add(m.From, fresh); err != nil {
+			return err
+		}
+	}
+	return w.send(Message{From: w.s, To: m.From, Kind: KindAck, Round: m.Round, Seq: m.Seq, AckOf: KindView})
 }
 
 func (w *worker) send(m Message) error {
-	return w.e.tr.Send(m)
+	return w.tr.Send(m)
 }
 
 // exchange completes round r's boundary swap: every peer's ghost ids
-// journaled locally, and every outgoing payload acked. Journaled legs
-// (recovery, or data that arrived early during the barrier wait) are
-// served without touching the transport; live legs run the
-// seq/ack/retry protocol under the round deadline.
+// journaled locally with their view bodies resolvable, and every
+// outgoing payload and view batch acked. Journaled legs (recovery, or
+// data that arrived early during the barrier wait) are served without
+// touching the transport; live legs run the seq/ack/retry protocol
+// under the round deadline, data and view legs retiring independently.
 func (w *worker) exchange(r int, live bool) error {
-	e := w.e
-	need := map[int]bool{}
-	for _, p := range e.peers[w.s] {
+	// fill copies the journaled payload of peer p into the ghost slots
+	// if its ids are fully resolvable from the stored view bodies.
+	fill := func(p int) bool {
+		ids, ok := w.pending[[2]int{r, p}]
+		if !ok || !w.store.complete(p, ids) {
+			return false
+		}
+		seg := w.ghostSeg[p]
+		copy(w.ghostIDs[seg[0]:seg[0]+seg[1]], ids)
+		return true
+	}
+	needData := map[int]bool{} // inbound: no journaled payload yet
+	needView := map[int]bool{} // inbound: payload present, bodies missing
+	for _, p := range w.topo.peers[w.s] {
 		seg := w.ghostSeg[p]
 		if seg[1] == 0 {
 			continue
 		}
-		if ids, ok := w.pending[[2]int{r, p}]; ok {
-			copy(w.ghostIDs[seg[0]:seg[0]+seg[1]], ids)
-		} else {
-			need[p] = true
+		if !fill(p) {
+			if _, ok := w.pending[[2]int{r, p}]; ok {
+				needView[p] = true
+			} else {
+				needData[p] = true
+			}
 		}
 	}
-	unacked := map[int][]uint64{}
+	unackedData := map[int][]uint64{}
+	unackedViews := map[int][]WireView{}
 	if live {
-		for _, p := range e.peers[w.s] {
-			list := e.sendList[w.s][p]
+		for _, p := range w.topo.peers[w.s] {
+			list := w.topo.sendList[w.s][p]
 			if len(list) == 0 {
 				continue
 			}
 			payload := make([]uint64, len(list))
+			roots := make([]*view.View, len(list))
 			for i, id := range list {
 				v := w.views[w.rr.ClassOf(int(id)-w.lo)]
-				e.reg.put(v)
+				roots[i] = v
 				payload[i] = v.ID()
 			}
-			unacked[p] = payload
+			unackedData[p] = payload
+			if batch := viewClosure(w.shipOf(p), roots, nil); len(batch) > 0 {
+				unackedViews[p] = batch
+			}
 		}
-	} else if len(need) > 0 {
+	} else if len(needData)+len(needView) > 0 {
 		return fmt.Errorf("shard: shard %d missing journaled ghosts for replayed round %d", w.s, r)
 	}
 
-	deadline := time.Now().Add(e.opt.roundTimeout())
+	deadline := time.Now().Add(w.opt.roundTimeout())
 	nextSend := time.Now()
 	attempt := 0
-	for len(need) > 0 || len(unacked) > 0 {
+	for len(needData)+len(needView)+len(unackedData)+len(unackedViews) > 0 {
 		if _, stop := w.pollCtrl(r + 1); stop {
 			return errHalt // aborted mid-exchange
 		}
 		now := time.Now()
 		if now.After(deadline) {
-			return w.stuck(r, len(need)+len(unacked))
+			return w.stuck(r, len(needData)+len(needView)+len(unackedData)+len(unackedViews))
 		}
-		if !now.Before(nextSend) && len(unacked) > 0 {
-			for _, p := range e.peers[w.s] {
-				payload, ok := unacked[p]
-				if !ok {
-					continue
+		outbound := len(unackedData) + len(unackedViews)
+		if !now.Before(nextSend) && outbound > 0 {
+			for _, p := range w.topo.peers[w.s] {
+				// Views before data, so a receiver that processes in
+				// order can resolve the payload on first delivery; the
+				// protocol does not rely on it.
+				if batch, ok := unackedViews[p]; ok {
+					w.seq++
+					m := Message{From: w.s, To: p, Kind: KindView, Round: r, Seq: w.seq, Views: batch}
+					if attempt > 0 {
+						// Resends clone: the first delivery (or the
+						// journal holding it) must never alias a slice a
+						// later send could expose to concurrent readers.
+						m = m.Clone()
+						w.retries.Add(1)
+					}
+					if err := w.send(m); err != nil {
+						return err
+					}
 				}
-				w.seq++
-				if err := w.send(Message{From: w.s, To: p, Kind: KindData, Round: r, Seq: w.seq, Payload: payload}); err != nil {
-					return err
-				}
-				if attempt > 0 {
-					e.retries.Add(1)
+				if payload, ok := unackedData[p]; ok {
+					w.seq++
+					m := Message{From: w.s, To: p, Kind: KindData, Round: r, Seq: w.seq, Payload: payload}
+					if attempt > 0 {
+						m = m.Clone()
+						w.retries.Add(1)
+					}
+					if err := w.send(m); err != nil {
+						return err
+					}
 				}
 			}
-			backoff := e.opt.retryBase() << uint(attempt)
-			if backoff > e.opt.retryMax() || backoff <= 0 {
-				backoff = e.opt.retryMax()
+			backoff := w.opt.retryBase() << uint(attempt)
+			if backoff > w.opt.retryMax() || backoff <= 0 {
+				backoff = w.opt.retryMax()
 			}
 			jitter := 0.5 + w.rng.Float64()
 			nextSend = now.Add(time.Duration(float64(backoff) * jitter))
 			attempt++
 		}
 		wait := 500 * time.Microsecond
-		if len(unacked) > 0 {
+		if outbound > 0 {
 			if until := time.Until(nextSend); until < wait {
 				wait = until
 			}
@@ -807,7 +1009,7 @@ func (w *worker) exchange(r int, live bool) error {
 		if wait <= 0 {
 			wait = 50 * time.Microsecond
 		}
-		m, ok := e.tr.Recv(w.s, wait)
+		m, ok := w.tr.Recv(w.s, wait)
 		if !ok {
 			continue
 		}
@@ -816,14 +1018,36 @@ func (w *worker) exchange(r int, live bool) error {
 			if err := w.acceptData(m); err != nil {
 				return err
 			}
-			if m.Round == r && need[m.From] {
-				seg := w.ghostSeg[m.From]
-				copy(w.ghostIDs[seg[0]:seg[0]+seg[1]], w.pending[[2]int{r, m.From}])
-				delete(need, m.From)
+			if m.Round == r && needData[m.From] {
+				delete(needData, m.From)
+				if !fill(m.From) {
+					needView[m.From] = true
+				}
+			}
+		case KindView:
+			if err := w.acceptViews(m); err != nil {
+				return err
+			}
+			// Any accepted batch can complete the round's resolution —
+			// bodies are not round-scoped — so retry the fill without a
+			// round check.
+			if needView[m.From] && fill(m.From) {
+				delete(needView, m.From)
 			}
 		case KindAck:
-			if m.Round == r {
-				delete(unacked, m.From)
+			if m.Round != r {
+				break // stale ack from an earlier round
+			}
+			if m.AckOf == KindView {
+				if batch, ok := unackedViews[m.From]; ok {
+					shipped := w.shipOf(m.From)
+					for _, v := range batch {
+						shipped[v.ID] = true
+					}
+					delete(unackedViews, m.From)
+				}
+			} else {
+				delete(unackedData, m.From)
 			}
 		}
 	}
@@ -831,7 +1055,7 @@ func (w *worker) exchange(r int, live bool) error {
 }
 
 func (w *worker) stuck(r, pendingLegs int) error {
-	stuck := &sim.StuckError{MaxRounds: w.e.opt.maxRounds(w.e.g), Undecided: w.remaining,
+	stuck := &sim.StuckError{MaxRounds: w.opt.maxRounds(w.topo.g), Undecided: w.remaining,
 		MinRound: r, MaxRound: r, Pending: pendingLegs}
 	for i := 0; i < w.size && len(stuck.Sample) < 4; i++ {
 		if !w.done[i] {
@@ -839,15 +1063,18 @@ func (w *worker) stuck(r, pendingLegs int) error {
 		}
 	}
 	return &ShardStuckError{Shard: w.s, Round: r,
-		Reason: fmt.Sprintf("boundary exchange timed out after %v", w.e.opt.roundTimeout()), Stuck: stuck}
+		Reason: fmt.Sprintf("boundary exchange timed out after %v", w.opt.roundTimeout()), Stuck: stuck}
 }
 
 // step advances the shard one depth: canonical keys from the interned
 // view ids (local classes first, then ghosts, by first occurrence),
 // range refinement, then one interned view per new class with children
-// read through the previous depth's classes and ghost views.
+// read through the previous depth's classes and ghost views. Ghost ids
+// resolve here — through the journal-backed body store, re-interning
+// into the local table in ghost-slot order — and nowhere else, so the
+// interning stream of a worker is deterministic and survives process
+// restarts (see views.go).
 func (w *worker) step() error {
-	e := w.e
 	k := w.rr.NumClasses()
 	ghosts := w.rr.Ghosts()
 	compact := map[uint64]int32{}
@@ -863,12 +1090,15 @@ func (w *worker) step() error {
 		w.ck[c] = assign(w.views[c].ID())
 	}
 	for s := range ghosts {
-		gv := e.reg.get(w.ghostIDs[s])
-		if gv == nil {
-			return fmt.Errorf("shard: shard %d cannot resolve ghost view id %d (node %d)", w.s, w.ghostIDs[s], ghosts[s])
+		gv, err := w.store.resolve(w.tab, w.ghostPeer[s], w.ghostIDs[s])
+		if err != nil {
+			return fmt.Errorf("shard: shard %d cannot resolve ghost view (node %d): %w", w.s, ghosts[s], err)
 		}
 		w.ghostViews[s] = gv
-		w.gk[s] = assign(w.ghostIDs[s])
+		// Compaction keys must be local ids: sender-local ids from two
+		// different peers may collide (or differ while denoting equal
+		// views) across tables.
+		w.gk[s] = assign(gv.ID())
 	}
 
 	w.prevClass = w.rr.CopyClasses(w.prevClass)
@@ -879,7 +1109,7 @@ func (w *worker) step() error {
 	w.flat = w.flat[:0]
 	for c := 0; c < k2; c++ {
 		i := w.rr.Representative(c) - w.lo
-		d := e.g.Deg(w.lo + i)
+		d := w.topo.g.Deg(w.lo + i)
 		for j := 0; j < d; j++ {
 			nbr, rp := w.rr.PortEntry(i, j)
 			var child *view.View
@@ -892,6 +1122,6 @@ func (w *worker) step() error {
 		}
 		w.off[c+1] = int32(len(w.flat))
 	}
-	e.tab.MakeBatch(w.flat, w.off[:k2+1], w.views[:k2])
+	w.tab.MakeBatch(w.flat, w.off[:k2+1], w.views[:k2])
 	return nil
 }

@@ -85,25 +85,31 @@ func (t *FaultTransport) Send(m Message) error {
 		return nil
 	}
 	dup := t.inj.Trip(FaultDup)
+	// Every extra delivery an injection manufactures (a duplicate, a
+	// delayed copy, a held-back original) is a deep Clone: the caller
+	// retains its Payload/Views buffers for resends, and an aliased
+	// injected copy surfacing later — possibly on another goroutine —
+	// would be a data race, not just a protocol duplicate. Pinned by
+	// TestFaultTransportCloneAliasing.
 	if t.inj.Trip(FaultDelay) {
-		mm := m
+		mm := m.Clone()
 		time.AfterFunc(t.delay(), func() { t.inner.Send(mm) })
 		if dup {
-			t.inner.Send(m)
+			t.inner.Send(m.Clone())
 		}
 		return nil
 	}
 	if t.inj.Trip(FaultReorder) {
 		t.mu.Lock()
 		prev := t.holdback[m.To]
-		mm := m
+		mm := m.Clone()
 		t.holdback[m.To] = &mm
 		t.mu.Unlock()
 		if prev != nil {
 			t.inner.Send(*prev)
 		}
 		if dup {
-			t.inner.Send(m)
+			t.inner.Send(m.Clone())
 		}
 		return nil
 	}
@@ -120,7 +126,7 @@ func (t *FaultTransport) Send(m Message) error {
 		t.inner.Send(*prev)
 	}
 	if dup {
-		t.inner.Send(m)
+		t.inner.Send(m.Clone())
 	}
 	return nil
 }
@@ -158,4 +164,19 @@ func SeededChaos(seed int64, shards int) *faults.Injector {
 		}
 	}
 	return inj
+}
+
+// SeededChaosSpec is SeededChaos as a faults.ParseSchedule spec — the
+// form a schedule takes to cross a process boundary (shardd's -chaos
+// flag). Same rates, same seed-chosen crash points, so the in-process
+// and multi-process chaos suites drill the same weather.
+func SeededChaosSpec(seed int64, shards int) string {
+	spec := fmt.Sprintf("%s=0.06,%s=0.05,%s=0.05,%s=0.03", FaultDrop, FaultDup, FaultReorder, FaultDelay)
+	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	for s := 0; s < shards; s++ {
+		if rng.Intn(2) == 0 {
+			spec += fmt.Sprintf(",%s@%d", CrashCat(s), 2+rng.Intn(60))
+		}
+	}
+	return spec
 }

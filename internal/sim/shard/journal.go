@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -38,32 +40,79 @@ type GhostRecord struct {
 	IDs   []uint64 // aligned to the ghost slots owned by Peer, ascending
 }
 
+// Restored is everything a shard recovers from its journal: the
+// checkpoints sorted by round, the ghost payloads in arrival order,
+// and per peer the view bodies received so far (the ghost ids resolve
+// against them, so they must survive exactly as long as the ghosts).
+type Restored struct {
+	Records []Record
+	Ghosts  []GhostRecord
+	Views   map[int][]WireView
+}
+
 // Journal is a shard's crash-surviving store. Implementations must be
 // safe for concurrent use by different shards; Checkpoint is idempotent
-// per (shard, round) and Ghosts per (shard, round, peer).
+// per (shard, round), Ghosts per (shard, round, peer), and Views per
+// view id. Every write reports failure — a journal that swallows an
+// I/O error would let the engine ack data it cannot replay, breaking
+// the recovery contract — and the engine surfaces failures as a
+// *JournalError.
 type Journal interface {
-	Checkpoint(shard int, rec Record)
-	Ghosts(shard int, gr GhostRecord)
-	// Restore returns the shard's checkpoints sorted by round and its
-	// ghost records in arrival order.
-	Restore(shard int) ([]Record, []GhostRecord)
+	Checkpoint(shard int, rec Record) error
+	Ghosts(shard int, gr GhostRecord) error
+	// Views persists view bodies received from peer. Callers pass only
+	// bodies not yet journaled; implementations may nevertheless dedup.
+	Views(shard, peer int, views []WireView) error
+	// Restore returns everything the shard has durably stored. Torn or
+	// corrupt entries surface as an error wrapping ErrJournalCorrupt —
+	// a shard must not replay from a journal it cannot trust.
+	Restore(shard int) (Restored, error)
 }
+
+// ErrJournalCorrupt marks Restore failures caused by torn or corrupt
+// journal entries (as opposed to plain I/O errors); match with
+// errors.Is.
+var ErrJournalCorrupt = errors.New("shard: journal corrupt")
+
+// JournalError is the typed error the engine wraps journal failures
+// in: which shard, which operation, and the underlying cause (reach it
+// with errors.Is / errors.As through Unwrap).
+type JournalError struct {
+	Shard int
+	Op    string // "checkpoint", "ghosts", "views", "restore"
+	Err   error
+}
+
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("shard: shard %d journal %s failed: %v", e.Shard, e.Op, e.Err)
+}
+
+func (e *JournalError) Unwrap() error { return e.Err }
 
 // MemJournal is the in-process Journal. It deep-copies every slice on
 // write, so a crashed incarnation's buffers cannot alias the store —
-// the in-memory analogue of store's write-then-rename discipline.
+// the in-memory analogue of store's write-then-rename discipline. Its
+// writes cannot fail; the error returns exist so the engine exercises
+// the same surfacing paths a disk journal needs.
 type MemJournal struct {
 	mu     sync.Mutex
 	recs   map[int]map[int]Record // shard → round → record
 	ghosts map[int][]GhostRecord
+	views  map[int]map[int][]WireView // shard → peer → bodies, arrival order
+	seen   map[int]map[int]map[uint64]bool
 }
 
 // NewMemJournal returns an empty journal.
 func NewMemJournal() *MemJournal {
-	return &MemJournal{recs: map[int]map[int]Record{}, ghosts: map[int][]GhostRecord{}}
+	return &MemJournal{
+		recs:   map[int]map[int]Record{},
+		ghosts: map[int][]GhostRecord{},
+		views:  map[int]map[int][]WireView{},
+		seen:   map[int]map[int]map[uint64]bool{},
+	}
 }
 
-func (j *MemJournal) Checkpoint(shard int, rec Record) {
+func (j *MemJournal) Checkpoint(shard int, rec Record) error {
 	cp := Record{
 		Round:     rec.Round,
 		Class:     append([]int32(nil), rec.Class...),
@@ -71,7 +120,10 @@ func (j *MemJournal) Checkpoint(shard int, rec Record) {
 		Remaining: rec.Remaining,
 	}
 	for _, d := range rec.Decided {
-		cp.Decided = append(cp.Decided, Decision{Node: d.Node, Round: d.Round, Output: append([]int(nil), d.Output...)})
+		// The copy stays non-nil even for an empty output: a decided
+		// node's Output is non-nil by contract, and replay must hand
+		// back exactly what was checkpointed.
+		cp.Decided = append(cp.Decided, Decision{Node: d.Node, Round: d.Round, Output: append([]int{}, d.Output...)})
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -81,28 +133,65 @@ func (j *MemJournal) Checkpoint(shard int, rec Record) {
 		j.recs[shard] = byRound
 	}
 	byRound[rec.Round] = cp
+	return nil
 }
 
-func (j *MemJournal) Ghosts(shard int, gr GhostRecord) {
+func (j *MemJournal) Ghosts(shard int, gr GhostRecord) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for _, have := range j.ghosts[shard] {
 		if have.Round == gr.Round && have.Peer == gr.Peer {
-			return // duplicate delivery: already durable
+			return nil // duplicate delivery: already durable
 		}
 	}
 	j.ghosts[shard] = append(j.ghosts[shard], GhostRecord{
 		Round: gr.Round, Peer: gr.Peer, IDs: append([]uint64(nil), gr.IDs...),
 	})
+	return nil
 }
 
-func (j *MemJournal) Restore(shard int) ([]Record, []GhostRecord) {
+func (j *MemJournal) Views(shard, peer int, views []WireView) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var recs []Record
-	for _, rec := range j.recs[shard] {
-		recs = append(recs, rec)
+	byPeer := j.views[shard]
+	if byPeer == nil {
+		byPeer = map[int][]WireView{}
+		j.views[shard] = byPeer
 	}
-	sort.Slice(recs, func(a, b int) bool { return recs[a].Round < recs[b].Round })
-	return recs, append([]GhostRecord(nil), j.ghosts[shard]...)
+	seenPeer := j.seen[shard]
+	if seenPeer == nil {
+		seenPeer = map[int]map[uint64]bool{}
+		j.seen[shard] = seenPeer
+	}
+	ids := seenPeer[peer]
+	if ids == nil {
+		ids = map[uint64]bool{}
+		seenPeer[peer] = ids
+	}
+	for _, v := range views {
+		if ids[v.ID] {
+			continue
+		}
+		ids[v.ID] = true
+		byPeer[peer] = append(byPeer[peer], v.clone())
+	}
+	return nil
+}
+
+func (j *MemJournal) Restore(shard int) (Restored, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out Restored
+	for _, rec := range j.recs[shard] {
+		out.Records = append(out.Records, rec)
+	}
+	sort.Slice(out.Records, func(a, b int) bool { return out.Records[a].Round < out.Records[b].Round })
+	out.Ghosts = append([]GhostRecord(nil), j.ghosts[shard]...)
+	if len(j.views[shard]) > 0 {
+		out.Views = map[int][]WireView{}
+		for peer, vs := range j.views[shard] {
+			out.Views[peer] = append([]WireView(nil), vs...)
+		}
+	}
+	return out, nil
 }

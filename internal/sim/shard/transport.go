@@ -1,12 +1,16 @@
 // Package shard runs the bulk-synchronous class-sharing engine across
 // shards that each own a contiguous node range of the graph's CSR and
 // exchange only boundary class identities per round — the partition,
-// not the views, crosses the wire. The data plane (Transport) is
-// allowed to be faulty: messages may be dropped, duplicated, reordered
-// or delayed, and whole shards may crash; a sequence/ack/retry protocol
-// plus a per-shard journal make the engine produce outputs bit-identical
-// to sim.RunBSP anyway (pinned by the differential suite in
-// shard_test.go and the root package's TestShardedDifferential).
+// not the views, crosses the wire (each distinct class view's *body* is
+// shipped to a peer at most a handful of times, on first reference, so
+// shards in different processes can resolve the ids; see views.go). The
+// data plane (Transport) is allowed to be faulty: messages may be
+// dropped, duplicated, reordered or delayed, and whole shards may
+// crash; a sequence/ack/retry protocol plus a per-shard journal make
+// the engine produce outputs bit-identical to sim.RunBSP anyway
+// (pinned by the differential suite in shard_test.go and the root
+// package's TestShardedDifferential, and across real processes over
+// loopback sockets by the root package's TestProcWireDifferential).
 package shard
 
 import (
@@ -14,7 +18,10 @@ import (
 	"time"
 )
 
-// Kind discriminates the two message types of the boundary protocol.
+// Kind discriminates the message types of the boundary protocol and,
+// above kindCtrlBase, the control-plane frames of the multi-process
+// deployment (proc.go). Control kinds never pass through a Transport:
+// they ride the dedicated supervisor connection.
 type Kind uint8
 
 const (
@@ -22,9 +29,39 @@ const (
 	// peer: Payload[i] is the interned view id of the i-th node of the
 	// deterministic ascending boundary list both endpoints compute from
 	// the graph (the sender's nodes adjacent to the receiver's range).
+	// The ids are local to the *sender's* view.Table; the receiver
+	// resolves them against the view bodies shipped with KindView.
 	KindData Kind = iota + 1
-	// KindAck acknowledges a KindData message, echoing Round and Seq.
+	// KindAck acknowledges a KindData or KindView message, echoing
+	// Round and Seq and naming the acknowledged kind in AckOf.
 	KindAck
+	// KindView ships view bodies: the transitive closure, minus
+	// everything already acked by this peer, of the class views whose
+	// ids appear in the round's KindData payload. Bodies are journaled
+	// by the receiver before the ack, so acked views survive a crash
+	// and a sender may drop them from its resend set for good.
+	KindView
+
+	// kindCtrlBase separates the data plane from the control plane:
+	// kinds above it never pass through a Transport.
+	kindCtrlBase Kind = 9
+
+	// KindHello is the first frame on a worker→supervisor control
+	// connection: From is the shard, Inc its incarnation.
+	KindHello Kind = 10
+	// KindReport is the proc-wire form of a round report: Round,
+	// Decisions, Remaining, plus the resend-counter delta in Retries.
+	KindReport Kind = 11
+	// KindRecovered announces a finished replay; Dur is the wall time.
+	KindRecovered Kind = 12
+	// KindProceed grants the barrier for Round (supervisor → worker).
+	KindProceed Kind = 13
+	// KindStop tells a worker every node has decided: exit cleanly.
+	KindStop Kind = 14
+	// KindAbort tells a worker the run failed elsewhere: exit now.
+	KindAbort Kind = 15
+	// KindErr reports an unrecoverable worker error; Note carries it.
+	KindErr Kind = 16
 )
 
 func (k Kind) String() string {
@@ -33,12 +70,32 @@ func (k Kind) String() string {
 		return "data"
 	case KindAck:
 		return "ack"
+	case KindView:
+		return "view"
+	case KindHello:
+		return "hello"
+	case KindReport:
+		return "report"
+	case KindRecovered:
+		return "recovered"
+	case KindProceed:
+		return "proceed"
+	case KindStop:
+		return "stop"
+	case KindAbort:
+		return "abort"
+	case KindErr:
+		return "err"
 	}
 	return "?"
 }
 
-// Message is one boundary-protocol datagram. Messages are small: one
-// uint64 per boundary node for data, none for acks.
+// Message is one boundary-protocol datagram, and doubles as the frame
+// of the multi-process control plane (the wire codec in wire.go
+// serializes exactly the fields its Kind uses). Data messages are
+// small — one uint64 per boundary node — and view messages amortize to
+// nearly nothing: each distinct view body crosses a given peer link at
+// most once per sender incarnation.
 type Message struct {
 	From    int // sender shard
 	To      int // destination shard
@@ -46,6 +103,49 @@ type Message struct {
 	Round   int      // exchange round the payload belongs to
 	Seq     uint64   // per-(sender,dest) sequence number; acks echo it
 	Payload []uint64 // interned view ids (KindData only)
+
+	// AckOf names the kind a KindAck acknowledges (KindData or
+	// KindView), so the two legs of an exchange retire independently.
+	AckOf Kind
+	// Views are the shipped view bodies (KindView only).
+	Views []WireView
+
+	// Control-plane fields (proc wire only; see proc.go).
+	Decisions []Decision    // KindReport
+	Remaining int           // KindReport: local nodes still undecided
+	Retries   int           // KindReport: resends since the last report
+	Dur       time.Duration // KindRecovered: replay wall time
+	Inc       int           // KindHello: worker incarnation
+	Note      string        // KindErr: the worker's error text
+}
+
+// Clone deep-copies m: the returned message shares no mutable state
+// (payload, view bodies, decision outputs) with the original. Every
+// path that re-emits a message it does not own — the engine's resend
+// loop, FaultTransport's duplicate/delay/holdback deliveries — must
+// send a Clone, so a receiver or journal holding the first delivery's
+// slices can never observe later mutation (the Payload-aliasing bug
+// pinned by TestMessageCloneAliasing).
+func (m Message) Clone() Message {
+	c := m
+	if m.Payload != nil {
+		c.Payload = append([]uint64(nil), m.Payload...)
+	}
+	if m.Views != nil {
+		c.Views = make([]WireView, len(m.Views))
+		for i, v := range m.Views {
+			c.Views[i] = v.clone()
+		}
+	}
+	if m.Decisions != nil {
+		c.Decisions = make([]Decision, len(m.Decisions))
+		for i, d := range m.Decisions {
+			// Non-nil even when empty: decided outputs are non-nil by
+			// contract and a resent clone must be bit-identical.
+			c.Decisions[i] = Decision{Node: d.Node, Round: d.Round, Output: append([]int{}, d.Output...)}
+		}
+	}
+	return c
 }
 
 // Transport moves messages between shards. It is the faulty data plane:
@@ -60,31 +160,59 @@ type Transport interface {
 	// timeout; ok is false on timeout.
 	Recv(shard int, timeout time.Duration) (m Message, ok bool)
 	// Reset discards every message queued for the shard — the mailbox
-	// of a crashed process does not survive its restart.
+	// of a crashed process does not survive its restart. The supervisor
+	// must call Reset strictly before respawning the shard (that
+	// ordering, plus the mailbox epoch below, is what guarantees a new
+	// incarnation can never read a message enqueued before the Reset).
 	Reset(shard int)
 }
 
 // ChanTransport is the in-process Transport: one FIFO mailbox per shard
 // guarded by a mutex, with an edge-triggered wakeup channel per mailbox.
 // It is reliable and ordered; wrap it in FaultTransport for chaos.
+//
+// Each mailbox carries an epoch, bumped by Reset in the same critical
+// section that clears the queue; entries are stamped with the epoch
+// current at Send and Recv discards any entry from an older epoch.
+// Entries and epoch move under one mutex, so a Send can never interleave
+// with a Reset halfway: a message either dies with the old epoch or is
+// enqueued entirely in the new one — the new incarnation may receive
+// messages sent *after* its predecessor's Reset (a live peer retrying,
+// which it must answer) but never a stale pre-crash entry. The
+// supervisor ordering (Reset happens-before respawn) plus this epoch
+// check is pinned by TestChanTransportResetEpoch.
 type ChanTransport struct {
-	mu  sync.Mutex
-	box [][]Message
-	sig []chan struct{}
+	mu    sync.Mutex
+	box   [][]boxEntry
+	epoch []uint64
+	sig   []chan struct{}
+}
+
+type boxEntry struct {
+	m     Message
+	epoch uint64
 }
 
 // NewChanTransport returns a transport connecting shards mailboxes.
 func NewChanTransport(shards int) *ChanTransport {
-	t := &ChanTransport{box: make([][]Message, shards), sig: make([]chan struct{}, shards)}
+	t := &ChanTransport{box: make([][]boxEntry, shards), epoch: make([]uint64, shards), sig: make([]chan struct{}, shards)}
 	for i := range t.sig {
 		t.sig[i] = make(chan struct{}, 1)
 	}
 	return t
 }
 
+// Epoch returns the mailbox epoch of the shard — the number of Resets
+// it has absorbed. Exposed for the transport's own tests.
+func (t *ChanTransport) Epoch(shard int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch[shard]
+}
+
 func (t *ChanTransport) Send(m Message) error {
 	t.mu.Lock()
-	t.box[m.To] = append(t.box[m.To], m)
+	t.box[m.To] = append(t.box[m.To], boxEntry{m: m, epoch: t.epoch[m.To]})
 	t.mu.Unlock()
 	select {
 	case t.sig[m.To] <- struct{}{}:
@@ -97,13 +225,22 @@ func (t *ChanTransport) Recv(shard int, timeout time.Duration) (Message, bool) {
 	deadline := time.Now().Add(timeout)
 	for {
 		t.mu.Lock()
-		if q := t.box[shard]; len(q) > 0 {
-			m := q[0]
+		q := t.box[shard]
+		for len(q) > 0 && q[0].epoch != t.epoch[shard] {
+			// Stale pre-Reset entry: unreachable while every enqueue and
+			// Reset shares t.mu, but the check keeps the invariant local
+			// rather than distributed across callers.
+			copy(q, q[1:])
+			q = q[:len(q)-1]
+		}
+		if len(q) > 0 {
+			m := q[0].m
 			copy(q, q[1:])
 			t.box[shard] = q[:len(q)-1]
 			t.mu.Unlock()
 			return m, true
 		}
+		t.box[shard] = q
 		t.mu.Unlock()
 		wait := time.Until(deadline)
 		if wait <= 0 {
@@ -122,11 +259,12 @@ func (t *ChanTransport) Recv(shard int, timeout time.Duration) (Message, bool) {
 func (t *ChanTransport) Reset(shard int) {
 	t.mu.Lock()
 	t.box[shard] = nil
-	t.mu.Unlock()
-	// Drain a pending wakeup so a restarted shard does not see a signal
-	// for a message that died with its mailbox.
+	t.epoch[shard]++
+	// Drain a pending wakeup inside the critical section, so the drain
+	// cannot eat the signal of a message enqueued after the clear.
 	select {
 	case <-t.sig[shard]:
 	default:
 	}
+	t.mu.Unlock()
 }

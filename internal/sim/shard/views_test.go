@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/view"
+)
+
+// buildSenderViews interns a small view family into a fresh table:
+// two leaves of different degree and two depth-1 views over them (one
+// of which reuses the same leaf twice).
+func buildSenderViews(t *testing.T) (tab *view.Table, leaf2, leaf3, v1, v2 *view.View) {
+	t.Helper()
+	tab = view.NewTable()
+	leaf2 = tab.Leaf(2)
+	leaf3 = tab.Leaf(3)
+	v1 = tab.Make([]view.Edge{{RemotePort: 0, Child: leaf2}, {RemotePort: 1, Child: leaf3}})
+	v2 = tab.Make([]view.Edge{{RemotePort: 2, Child: leaf2}, {RemotePort: 0, Child: leaf2}})
+	return
+}
+
+// TestViewClosure pins the shipping batch builder: children before
+// parents, deterministic order, dedup within the batch, and the
+// per-peer sent-set filtering out everything already acked.
+func TestViewClosure(t *testing.T) {
+	_, leaf2, leaf3, v1, v2 := buildSenderViews(t)
+
+	batch := viewClosure(map[uint64]bool{}, []*view.View{v1, v2}, nil)
+	var ids []uint64
+	for _, wv := range batch {
+		ids = append(ids, wv.ID)
+	}
+	want := []uint64{leaf2.ID(), leaf3.ID(), v1.ID(), v2.ID()}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("closure order %v, want %v (children before parents, dedup)", ids, want)
+	}
+	for _, wv := range batch {
+		if err := checkWireView(wv); err != nil {
+			t.Errorf("closure emitted an invalid body: %v", err)
+		}
+	}
+
+	// Everything already shipped is filtered. The shipped set is always
+	// child-closed (it only grows by whole acked batches, which are
+	// closures), so a shipped parent prunes its entire subtree.
+	shipped := map[uint64]bool{leaf2.ID(): true, leaf3.ID(): true, v1.ID(): true}
+	batch = viewClosure(shipped, []*view.View{v1, v2}, nil)
+	ids = ids[:0]
+	for _, wv := range batch {
+		ids = append(ids, wv.ID)
+	}
+	if want := []uint64{v2.ID()}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("filtered closure %v, want %v", ids, want)
+	}
+
+	// A resend of the same roots builds an identical batch.
+	a := viewClosure(map[uint64]bool{}, []*view.View{v2, v1}, nil)
+	b := viewClosure(map[uint64]bool{}, []*view.View{v2, v1}, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("closure is not deterministic across identical calls")
+	}
+}
+
+// TestViewStoreResolve ships a closure into a receiver with a separate
+// table and checks re-interning preserves exactly what the engine
+// needs: the equality pattern of the ids, and the view structure.
+func TestViewStoreResolve(t *testing.T) {
+	_, _, _, v1, v2 := buildSenderViews(t)
+	batch := viewClosure(map[uint64]bool{}, []*view.View{v1, v2}, nil)
+
+	recvTab := view.NewTable()
+	vs := newViewStore()
+	const peer = 0
+	if vs.complete(peer, []uint64{v1.ID()}) {
+		t.Fatal("complete() true on an empty store")
+	}
+	if err := vs.add(peer, batch); err != nil {
+		t.Fatal(err)
+	}
+	if !vs.complete(peer, []uint64{v1.ID(), v2.ID()}) {
+		t.Fatal("complete() false after the full closure was stored")
+	}
+
+	r1, err := vs.resolve(recvTab, peer, v1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := vs.resolve(recvTab, peer, v2.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 || r1.ID() == r2.ID() {
+		t.Fatal("distinct sender views resolved to one local view")
+	}
+	if r1.Depth != v1.Depth || r1.Deg != v1.Deg || r2.Deg != v2.Deg {
+		t.Fatalf("resolved shape (%d,%d)/(%d,%d), want (%d,%d)/(%d,%d)",
+			r1.Depth, r1.Deg, r2.Depth, r2.Deg, v1.Depth, v1.Deg, v2.Depth, v2.Deg)
+	}
+	// v2's two edges share one child leaf; the resolved view must too
+	// (the memo makes re-interning preserve sharing).
+	if r2.Edges[0].Child != r2.Edges[1].Child {
+		t.Fatal("shared child leaf resolved to two distinct local views")
+	}
+	// Resolution is memoized: a second resolve returns the same view.
+	again, err := vs.resolve(recvTab, peer, v1.ID())
+	if err != nil || again != r1 {
+		t.Fatalf("memoized resolve returned %v (%v), want the original", again, err)
+	}
+}
+
+// TestViewStorePeerIsolation stores bodies with the same numeric id for
+// two peers: ids are sender-table-local, so the store must keep them
+// apart and resolve each against its own peer's bodies.
+func TestViewStorePeerIsolation(t *testing.T) {
+	vs := newViewStore()
+	if err := vs.add(0, []WireView{{ID: 1, Depth: 0, Deg: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.add(1, []WireView{{ID: 1, Depth: 0, Deg: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	tab := view.NewTable()
+	a, err := vs.resolve(tab, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vs.resolve(tab, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Deg != 2 || b.Deg != 5 {
+		t.Fatalf("peer bodies mixed: degrees %d/%d, want 2/5", a.Deg, b.Deg)
+	}
+}
+
+// TestViewStoreDuplicatesKeepFirst pins the first-body-wins rule: a
+// duplicate id from a resend never replaces a stored body.
+func TestViewStoreDuplicatesKeepFirst(t *testing.T) {
+	vs := newViewStore()
+	if err := vs.add(0, []WireView{{ID: 1, Depth: 0, Deg: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := vs.missing(0, []WireView{{ID: 1, Depth: 0, Deg: 9}, {ID: 2, Depth: 0, Deg: 1}}); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("missing() = %v, want only id 2", got)
+	}
+	if err := vs.add(0, []WireView{{ID: 1, Depth: 0, Deg: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := vs.resolve(view.NewTable(), 0, 1)
+	if err != nil || v.Deg != 2 {
+		t.Fatalf("duplicate overwrote the stored body: deg=%d err=%v", v.Deg, err)
+	}
+}
+
+// TestViewStoreMalformed drives resolution into every failure mode on
+// hostile body sets: missing children, depth lies and reference cycles
+// must yield errors — never a panic or runaway recursion.
+func TestViewStoreMalformed(t *testing.T) {
+	tab := view.NewTable()
+
+	t.Run("missing-body", func(t *testing.T) {
+		vs := newViewStore()
+		vs.add(0, []WireView{{ID: 5, Depth: 1, Deg: 1, Edges: []WireEdge{{RemotePort: 0, Child: 6}}}})
+		if vs.complete(0, []uint64{5}) {
+			t.Fatal("complete() true with a missing child body")
+		}
+		if _, err := vs.resolve(tab, 0, 5); err == nil || !strings.Contains(err.Error(), "no body") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("depth-mismatch", func(t *testing.T) {
+		vs := newViewStore()
+		vs.add(0, []WireView{
+			{ID: 5, Depth: 2, Deg: 1, Edges: []WireEdge{{RemotePort: 0, Child: 6}}},
+			{ID: 6, Depth: 0, Deg: 1}, // child must be depth 1, lies as a leaf
+		})
+		if vs.complete(0, []uint64{5}) {
+			t.Fatal("complete() true across a depth lie")
+		}
+		if _, err := vs.resolve(tab, 0, 5); err == nil || !strings.Contains(err.Error(), "depth") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		vs := newViewStore()
+		vs.add(0, []WireView{
+			{ID: 1, Depth: 1, Deg: 1, Edges: []WireEdge{{RemotePort: 0, Child: 2}}},
+			{ID: 2, Depth: 1, Deg: 1, Edges: []WireEdge{{RemotePort: 0, Child: 1}}},
+		})
+		if vs.complete(0, []uint64{1}) {
+			t.Fatal("complete() true on a reference cycle")
+		}
+		if _, err := vs.resolve(tab, 0, 1); err == nil {
+			t.Fatal("resolve terminated a cycle without an error")
+		}
+	})
+	t.Run("invalid-body-rejected-at-add", func(t *testing.T) {
+		vs := newViewStore()
+		if err := vs.add(0, []WireView{{ID: 1, Depth: 1, Deg: 0}}); err == nil {
+			t.Fatal("add accepted a positive-depth body with no edges")
+		}
+	})
+}
+
+// TestCheckWireView pins the body validator used on every receive and
+// journal-replay path.
+func TestCheckWireView(t *testing.T) {
+	cases := []struct {
+		name string
+		v    WireView
+		ok   bool
+	}{
+		{"leaf", WireView{ID: 1, Depth: 0, Deg: 4}, true},
+		{"inner", WireView{ID: 2, Depth: 1, Deg: 1, Edges: []WireEdge{{RemotePort: 0, Child: 1}}}, true},
+		{"leaf-with-edges", WireView{ID: 3, Depth: 0, Deg: 1, Edges: []WireEdge{{Child: 1}}}, false},
+		{"deep-no-edges", WireView{ID: 4, Depth: 3, Deg: 0}, false},
+		{"edge-degree-mismatch", WireView{ID: 5, Depth: 1, Deg: 2, Edges: []WireEdge{{Child: 1}}}, false},
+		{"negative-depth", WireView{ID: 6, Depth: -1, Deg: 1}, false},
+		{"negative-degree", WireView{ID: 7, Depth: 0, Deg: -2}, false},
+	}
+	for _, tc := range cases {
+		if err := checkWireView(tc.v); (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wireMessages returns one representative of every frame kind, with
+// every kind-specific field populated (negative decision outputs for
+// the zigzag path, nested view bodies, empty-payload control frames).
+func wireMessages() map[string]Message {
+	return map[string]Message{
+		"data": {From: 1, To: 2, Kind: KindData, Round: 5, Seq: 99,
+			Payload: []uint64{0, 7, 1 << 40, 42}},
+		"data-empty": {From: 0, To: 1, Kind: KindData, Round: 0, Seq: 1},
+		"ack-data":   {From: 2, To: 1, Kind: KindAck, Round: 5, Seq: 99, AckOf: KindData},
+		"ack-view":   {From: 2, To: 1, Kind: KindAck, Round: 5, Seq: 100, AckOf: KindView},
+		"view": {From: 0, To: 1, Kind: KindView, Round: 3, Seq: 7, Views: []WireView{
+			{ID: 11, Depth: 0, Deg: 3},
+			{ID: 12, Depth: 0, Deg: 1},
+			{ID: 31, Depth: 1, Deg: 2, Edges: []WireEdge{{RemotePort: 2, Child: 11}, {RemotePort: 0, Child: 12}}},
+		}},
+		"hello": {From: 2, Kind: KindHello, Inc: 4},
+		"report": {From: 1, Kind: KindReport, Round: 9, Remaining: 17, Retries: 3,
+			Decisions: []Decision{
+				{Node: 40, Round: 9, Output: []int{1, -3, 0, 2}},
+				{Node: 41, Round: 9, Output: []int{-1}},
+				{Node: 42, Round: 9, Output: []int{}}, // decided, empty — must stay non-nil
+			}},
+		"recovered": {From: 0, Kind: KindRecovered, Dur: 1500 * time.Microsecond},
+		"proceed":   {To: 1, Kind: KindProceed, Round: 12},
+		"stop":      {To: 0, Kind: KindStop},
+		"abort":     {To: 2, Kind: KindAbort},
+		"err":       {From: 1, Kind: KindErr, Note: "shard 1 exploded: привет"},
+	}
+}
+
+// TestWireRoundTrip pins the codec: every kind survives
+// appendMessage/decodeMessage and the length-prefixed stream framing
+// bit-for-bit.
+func TestWireRoundTrip(t *testing.T) {
+	for name, m := range wireMessages() {
+		body := appendMessage(nil, m)
+		got, err := decodeMessage(body)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s: decoded %+v, want %+v", name, got, m)
+		}
+
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, m); err != nil {
+			t.Fatalf("%s: writeFrame: %v", name, err)
+		}
+		got, err = readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%s: readFrame: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s: framed round trip %+v, want %+v", name, got, m)
+		}
+	}
+}
+
+// TestWireStream checks several frames back to back on one stream —
+// the shape a NetTransport readLoop actually sees.
+func TestWireStream(t *testing.T) {
+	msgs := wireMessages()
+	var buf bytes.Buffer
+	order := []string{"view", "data", "ack-data", "report", "err"}
+	for _, name := range order {
+		if err := writeFrame(&buf, msgs[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, name := range order {
+		got, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, msgs[name]) {
+			t.Errorf("%s: stream decoded %+v, want %+v", name, got, msgs[name])
+		}
+	}
+}
+
+// TestWireDecodeTotality truncates every valid encoding at every byte
+// boundary: the decoder must return an error — never panic, never
+// accept — on every proper prefix.
+func TestWireDecodeTotality(t *testing.T) {
+	for name, m := range wireMessages() {
+		body := appendMessage(nil, m)
+		for cut := 0; cut < len(body); cut++ {
+			if _, err := decodeMessage(body[:cut]); err == nil {
+				t.Errorf("%s: decode accepted a %d/%d-byte prefix", name, cut, len(body))
+			}
+		}
+	}
+}
+
+// TestWireRejectsMalformed covers the structured rejections: bad magic,
+// unknown kinds, trailing garbage, hostile counts, invalid ack kinds
+// and malformed view bodies.
+func TestWireRejectsMalformed(t *testing.T) {
+	valid := appendMessage(nil, Message{From: 0, To: 1, Kind: KindData, Payload: []uint64{1}})
+
+	t.Run("bad-magic", func(t *testing.T) {
+		body := append([]byte(nil), valid...)
+		body[0] = 'X'
+		if _, err := decodeMessage(body); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown-kind", func(t *testing.T) {
+		body := appendMessage(nil, Message{Kind: Kind(200)})
+		if _, err := decodeMessage(body); err == nil || !strings.Contains(err.Error(), "unknown frame kind") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("ctrl-base-kind", func(t *testing.T) {
+		// kindCtrlBase itself is not a real kind.
+		body := appendMessage(nil, Message{Kind: kindCtrlBase})
+		if _, err := decodeMessage(body); err == nil {
+			t.Fatal("decoder accepted the reserved control-base kind")
+		}
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		body := append(append([]byte(nil), valid...), 0xAB)
+		if _, err := decodeMessage(body); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("hostile-count", func(t *testing.T) {
+		// A short frame promising 2^24+1 payload ids must be rejected by
+		// the count bound, not by attempting the allocation.
+		body := append([]byte(nil), wireMagic[:]...)
+		body = append(body, byte(KindData))
+		for i := 0; i < 4; i++ { // from, to, round, seq
+			body = binary.AppendUvarint(body, 0)
+		}
+		body = binary.AppendUvarint(body, maxWireCount+1)
+		if _, err := decodeMessage(body); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("ack-of-garbage", func(t *testing.T) {
+		body := appendMessage(nil, Message{Kind: KindAck, AckOf: KindHello})
+		if _, err := decodeMessage(body); err == nil || !strings.Contains(err.Error(), "ack of unexpected kind") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("view-depth-without-edges", func(t *testing.T) {
+		// Depth > 0 with zero edges would panic view.Make at resolution;
+		// the decoder rejects the body outright.
+		body := appendMessage(nil, Message{Kind: KindView, Views: []WireView{{ID: 1, Depth: 2, Deg: 0}}})
+		if _, err := decodeMessage(body); err == nil {
+			t.Fatal("decoder accepted a positive-depth view with no edges")
+		}
+	})
+	t.Run("view-edge-count-mismatch", func(t *testing.T) {
+		body := appendMessage(nil, Message{Kind: KindView, Views: []WireView{
+			{ID: 1, Depth: 1, Deg: 3, Edges: []WireEdge{{RemotePort: 0, Child: 2}}},
+		}})
+		if _, err := decodeMessage(body); err == nil {
+			t.Fatal("decoder accepted a view with edges != degree")
+		}
+	})
+}
+
+// TestWireFrameLimits pins the stream-level bounds: an oversized length
+// prefix and a torn frame both fail the read (and, per the transport
+// contract, kill the connection).
+func TestWireFrameLimits(t *testing.T) {
+	t.Run("oversized-length", func(t *testing.T) {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], maxFrameLen+1)
+		_, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("torn-frame", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, Message{Kind: KindData, Payload: []uint64{1, 2, 3}}); err != nil {
+			t.Fatal(err)
+		}
+		torn := buf.Bytes()[:buf.Len()-2]
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(torn))); err == nil {
+			t.Fatal("readFrame accepted a torn frame")
+		}
+	})
+	t.Run("oversized-write", func(t *testing.T) {
+		m := Message{Kind: KindErr, Note: strings.Repeat("x", maxFrameLen+1)}
+		if err := writeFrame(&bytes.Buffer{}, m); err == nil {
+			t.Fatal("writeFrame accepted an oversized frame")
+		}
+	})
+}

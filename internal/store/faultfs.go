@@ -16,9 +16,10 @@ var ErrInjected = errors.New("store: injected fault")
 // harnesses that drive the injector directly (Faults) name the same
 // schedules FaultFS logs.
 const (
-	FaultWriteFail = "write.fail" // WriteFile returns ErrInjected
-	FaultWriteTorn = "write.torn" // WriteFile persists a ragged prefix, reports success
-	FaultReadFail  = "read.fail"  // ReadFile returns ErrInjected
+	FaultWriteFail  = "write.fail"  // WriteFile returns ErrInjected
+	FaultWriteTorn  = "write.torn"  // WriteFile persists a ragged prefix, reports success
+	FaultReadFail   = "read.fail"   // ReadFile returns ErrInjected
+	FaultRenameFail = "rename.fail" // Rename returns ErrInjected: the commit itself fails
 )
 
 // FaultFS wraps an FS with deterministic fault injection — the chaos
@@ -63,6 +64,11 @@ func (f *FaultFS) TearNextWrites(n int) { f.inj.Arm(FaultWriteTorn, n) }
 // FailNextReads makes the next n ReadFile calls return ErrInjected.
 func (f *FaultFS) FailNextReads(n int) { f.inj.Arm(FaultReadFail, n) }
 
+// FailNextRenames makes the next n Rename calls return ErrInjected —
+// the atomic commit step of a write-then-rename protocol failing after
+// the staged file was durably written.
+func (f *FaultFS) FailNextRenames(n int) { f.inj.Arm(FaultRenameFail, n) }
+
 // SetWriteDelay adds fixed latency to every WriteFile — the slow-disk
 // adversary for timeout tests.
 func (f *FaultFS) SetWriteDelay(d time.Duration) { f.mu.Lock(); f.writeDelay = d; f.mu.Unlock() }
@@ -80,8 +86,14 @@ func (f *FaultFS) Writes() int { return f.inj.Ops(FaultWriteFail) }
 
 func (f *FaultFS) MkdirAll(dir string) error            { return f.Inner.MkdirAll(dir) }
 func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
-func (f *FaultFS) Rename(o, n string) error             { return f.Inner.Rename(o, n) }
 func (f *FaultFS) Remove(path string) error             { return f.Inner.Remove(path) }
+
+func (f *FaultFS) Rename(o, n string) error {
+	if f.inj.Trip(FaultRenameFail) {
+		return errors.Join(ErrInjected, errors.New("rename of "+n))
+	}
+	return f.Inner.Rename(o, n)
+}
 
 func (f *FaultFS) ReadFile(path string) ([]byte, error) {
 	if f.inj.Trip(FaultReadFail) {
